@@ -1,0 +1,140 @@
+//! Trace-distance metrics and the secret distinguisher.
+//!
+//! Our simulator is deterministic, so the sharpest possible test is exact
+//! trace equality: a defense is broken if any receiver strategy observes
+//! *different* latency traces under different transmitter secrets, and
+//! sound (for the tested strategies) if traces are bit-identical. The
+//! softer metrics (total variation, mean absolute difference) quantify
+//! *how* distinguishable two traces are, mirroring how a real attacker
+//! with measurement noise would fare.
+
+use dg_sim::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The verdict of comparing receiver observations across two secrets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LeakVerdict {
+    /// Observations are bit-identical: this receiver learns nothing.
+    Indistinguishable,
+    /// Observations differ: the channel leaks. Carries the mean absolute
+    /// latency difference as a coarse capacity proxy.
+    Distinguishable {
+        /// Mean |a - b| over the common prefix, plus length mismatch.
+        mean_abs_diff: f64,
+    },
+}
+
+/// Compares two receiver latency traces observed under different secrets.
+pub fn distinguishable(a: &[Cycle], b: &[Cycle]) -> LeakVerdict {
+    if a == b {
+        LeakVerdict::Indistinguishable
+    } else {
+        LeakVerdict::Distinguishable {
+            mean_abs_diff: mean_abs_diff(a, b),
+        }
+    }
+}
+
+/// Mean absolute difference over the common prefix; a length mismatch
+/// contributes the mean of the longer tail (missing observations are
+/// themselves observable).
+pub fn mean_abs_diff(a: &[Cycle], b: &[Cycle]) -> f64 {
+    let n = a.len().min(b.len());
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut sum: f64 = a[..n]
+        .iter()
+        .zip(&b[..n])
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum();
+    let longer = if a.len() > n { &a[n..] } else { &b[n..] };
+    sum += longer.iter().map(|&x| x as f64).sum::<f64>();
+    sum / a.len().max(b.len()) as f64
+}
+
+/// Total variation distance between the latency *histograms* of two traces
+/// (bucketed at `bucket` cycles): 0 = identical distributions, 1 =
+/// disjoint. This is the view of a Camouflage-grade attacker who only
+/// sees aggregate timing distributions.
+pub fn total_variation(a: &[Cycle], b: &[Cycle], bucket: Cycle) -> f64 {
+    assert!(bucket > 0, "bucket must be positive");
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+    }
+    use std::collections::HashMap;
+    let hist = |t: &[Cycle]| {
+        let mut h: HashMap<Cycle, f64> = HashMap::new();
+        for &v in t {
+            *h.entry(v / bucket).or_default() += 1.0 / t.len() as f64;
+        }
+        h
+    };
+    let ha = hist(a);
+    let hb = hist(b);
+    let keys: std::collections::HashSet<_> = ha.keys().chain(hb.keys()).collect();
+    0.5 * keys
+        .into_iter()
+        .map(|k| (ha.get(k).unwrap_or(&0.0) - hb.get(k).unwrap_or(&0.0)).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_are_indistinguishable() {
+        let t = vec![10, 20, 30];
+        assert_eq!(distinguishable(&t, &t), LeakVerdict::Indistinguishable);
+        assert_eq!(mean_abs_diff(&t, &t), 0.0);
+        assert_eq!(total_variation(&t, &t, 5), 0.0);
+    }
+
+    #[test]
+    fn different_traces_flagged() {
+        let a = vec![10, 20, 30];
+        let b = vec![10, 25, 30];
+        match distinguishable(&a, &b) {
+            LeakVerdict::Distinguishable { mean_abs_diff } => {
+                assert!((mean_abs_diff - 5.0 / 3.0).abs() < 1e-12);
+            }
+            v => panic!("expected leak, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_observable() {
+        let a = vec![10, 20];
+        let b = vec![10, 20, 30];
+        assert_ne!(distinguishable(&a, &b), LeakVerdict::Indistinguishable);
+        assert!((mean_abs_diff(&a, &b) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_extremes() {
+        let a = vec![10, 10, 10];
+        let b = vec![100, 100, 100];
+        assert_eq!(total_variation(&a, &b, 10), 1.0);
+        // Same multiset, different order: TV over histograms is 0 even
+        // though an ordering attacker (exact compare) distinguishes them —
+        // precisely Camouflage's blind spot (Figure 2).
+        let c = vec![200, 400];
+        let d = vec![400, 200];
+        assert_eq!(total_variation(&c, &d, 10), 0.0);
+        assert_ne!(distinguishable(&c, &d), LeakVerdict::Indistinguishable);
+    }
+
+    #[test]
+    fn empty_traces() {
+        assert_eq!(mean_abs_diff(&[], &[]), 0.0);
+        assert_eq!(total_variation(&[], &[], 10), 0.0);
+        assert_eq!(total_variation(&[1], &[], 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_bucket_panics() {
+        total_variation(&[1], &[1], 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the simulator substrates: DRAM device
+//! command throughput, memory-controller scheduling, cache lookups, the
+//! DAGguise shaper's per-cycle cost, and the verification checkers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dagguise::{Shaper, ShaperConfig};
+use dg_dram::{DramCommand, DramDevice};
+use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, SchedPolicy};
+use dg_rdag::template::RdagTemplate;
+use dg_sim::clock::ClockRatio;
+use dg_sim::config::{DramOrg, DramTiming, RowPolicy, SystemConfig};
+use dg_sim::types::{DomainId, MemRequest, ReqId};
+
+fn bench_dram_device(c: &mut Criterion) {
+    c.bench_function("dram/closed_row_read", |b| {
+        let mut dev = DramDevice::new(DramOrg::default(), DramTiming::default(), ClockRatio::new(1));
+        let mut now = 0u64;
+        b.iter(|| {
+            for bank in 0..8 {
+                let act = DramCommand::Activate { bank, row: 1 };
+                let t = dev.earliest(act, now);
+                dev.issue(act, t);
+                let rd = DramCommand::Read { bank, auto_precharge: true };
+                let t2 = dev.earliest(rd, t);
+                now = dev.issue(rd, t2).unwrap();
+            }
+            black_box(now)
+        });
+    });
+}
+
+fn bench_memory_controller(c: &mut Criterion) {
+    c.bench_function("memctrl/frfcfs_sustained", |b| {
+        let cfg = SystemConfig::two_core().with_row_policy(RowPolicy::Closed);
+        b.iter(|| {
+            let mut mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+            let mut sent = 0u64;
+            let mut done = 0u64;
+            for now in 0..20_000u64 {
+                if mc.free_space() > 0 {
+                    sent += 1;
+                    let req = MemRequest::read(DomainId(0), (sent % 1024) * 64, now)
+                        .with_id(ReqId(sent));
+                    let _ = mc.try_send(req, now);
+                }
+                done += mc.tick(now).len() as u64;
+            }
+            black_box(done)
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use dg_cache::SetAssocCache;
+    c.bench_function("cache/l2_mixed_accesses", |b| {
+        let cfg = dg_sim::config::CacheConfig::default();
+        let mut cache = SetAssocCache::new(cfg.l2, "L2");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access((i * 64 * 13) % (1 << 22), i % 4 == 0))
+        });
+    });
+}
+
+fn bench_shaper(c: &mut Criterion) {
+    c.bench_function("shaper/tick_cycle", |b| {
+        let cfg = SystemConfig::two_core();
+        let mut shaper = Shaper::new(ShaperConfig::from_system(
+            DomainId(0),
+            RdagTemplate::new(4, 100, 0.001),
+            &cfg,
+        ));
+        let mut now = 0u64;
+        let mut pending: Vec<MemRequest> = Vec::new();
+        b.iter(|| {
+            now += 1;
+            for req in &pending {
+                let resp = dg_sim::types::MemResponse {
+                    id: req.id,
+                    domain: req.domain,
+                    addr: req.addr,
+                    req_type: req.req_type,
+                    kind: req.kind,
+                    arrived_at: now - 1,
+                    completed_at: now,
+                };
+                shaper.on_response(&resp, now);
+            }
+            pending = shaper.tick(now, usize::MAX);
+            black_box(pending.len())
+        });
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    use dg_verif::{check_unwinding, ModelConfig, ShaperKind};
+    c.bench_function("verif/unwinding_tiny", |b| {
+        let cfg = ModelConfig::tiny(ShaperKind::Dagguise);
+        b.iter(|| black_box(check_unwinding(&cfg).is_ok()));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dram_device, bench_memory_controller, bench_cache, bench_shaper, bench_verification
+);
+criterion_main!(benches);

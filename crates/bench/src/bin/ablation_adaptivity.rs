@@ -1,0 +1,90 @@
+//! Ablation: why DAGguise beats Fixed Service — dynamic bandwidth
+//! reallocation (§6.2/6.3 analysis).
+//!
+//! A protected (idle-ish) victim is co-located with a memory-hungry
+//! co-runner. Under FS-BTA the victim's unused slots are wasted (no-skip
+//! arbitration); under DAGguise the shaper's rDAG throttles itself under
+//! contention and the co-runner takes the released bandwidth. The harness
+//! prints the co-runner's achieved bandwidth and IPC under each scheme,
+//! plus the fake-traffic overhead DAGguise pays in exchange.
+
+use dg_sim::config::SystemConfig;
+use dg_system::{run_colocation, MemoryKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scheme: String,
+    victim_ipc: f64,
+    corunner_ipc: f64,
+    corunner_gbps: f64,
+    victim_gbps: f64,
+}
+
+fn main() {
+    let scale = dg_bench::parse_args();
+    let cfg = SystemConfig::two_core();
+
+    // A mostly-compute victim with sparse memory traffic...
+    let mut victim = dg_cpu::MemTrace::new();
+    let n = (scale.spec_instructions / 2000).max(200);
+    for i in 0..n {
+        victim.load((i % 4096) * 64 * 131, 1000);
+    }
+    // ...against a bandwidth-hungry streaming co-runner.
+    let co = dg_bench::workloads::spec_trace(&scale, "lbm", 9);
+
+    let defense = dg_bench::workloads::docdist_defense();
+    let schemes: Vec<(&str, MemoryKind)> = vec![
+        ("insecure", MemoryKind::Insecure),
+        ("FS-BTA", MemoryKind::FsBta),
+        ("TP (64 slots)", MemoryKind::TemporalPartition { slots_per_period: 64 }),
+        ("FS-spatial", MemoryKind::FsSpatial),
+        (
+            "DAGguise",
+            MemoryKind::Dagguise {
+                protected: vec![Some(defense), None],
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for (name, kind) in schemes {
+        let r = run_colocation(&cfg, vec![victim.clone(), co.clone()], kind, scale.budget)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", r.cores[0].ipc),
+            format!("{:.3}", r.cores[1].ipc),
+            format!("{:.2}", r.bandwidth_gbps[1]),
+            format!("{:.2}", r.bandwidth_gbps[0]),
+        ]);
+        data.push(Row {
+            scheme: name.to_string(),
+            victim_ipc: r.cores[0].ipc,
+            corunner_ipc: r.cores[1].ipc,
+            corunner_gbps: r.bandwidth_gbps[1],
+            victim_gbps: r.bandwidth_gbps[0],
+        });
+    }
+    dg_bench::print_table(
+        "Ablation: bandwidth reallocation with a sparse victim + streaming co-runner",
+        &["scheme", "victim IPC", "co-runner IPC", "co-runner GB/s", "victim GB/s (incl. fakes)"],
+        &rows,
+    );
+
+    let fs = data.iter().find(|d| d.scheme == "FS-BTA").unwrap();
+    let dag = data.iter().find(|d| d.scheme == "DAGguise").unwrap();
+    println!(
+        "\nCo-runner under DAGguise achieves {:.1}% of the bandwidth it gets \
+         under FS-BTA's static halving ({:.2} vs {:.2} GB/s): the shaper's \
+         rDAG yields bandwidth the victim does not need, at the cost of \
+         {:.2} GB/s of fake traffic.",
+        100.0 * dag.corunner_gbps / fs.corunner_gbps.max(1e-9),
+        dag.corunner_gbps,
+        fs.corunner_gbps,
+        dag.victim_gbps
+    );
+    dg_bench::write_results("ablation_adaptivity", &data);
+}

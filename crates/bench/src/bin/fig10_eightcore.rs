@@ -1,0 +1,160 @@
+//! Figure 10: eight-core scalability — two DocDist and two DNA victims
+//! protected by four DAGguise shapers, co-located with four identical SPEC
+//! instances, vs FS-BTA (where each victim gets 1/8 of the slots).
+//!
+//! Paper shape: DAGguise ≈ 34% system slowdown vs insecure, ≈ 12% average
+//! speedup over FS-BTA, with most applications (not just unprotected
+//! ones) improving relative to FS-BTA.
+
+use crossbeam::thread;
+use dg_sim::config::SystemConfig;
+use dg_sim::stats::geomean;
+use dg_system::{run_colocation, MemoryKind};
+use dg_workloads::spec_names;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+#[derive(Serialize, Clone)]
+struct AppResult {
+    app: String,
+    fs_bta_avg: f64,
+    dagguise_avg: f64,
+}
+
+#[derive(Serialize)]
+struct Fig10Data {
+    apps: Vec<AppResult>,
+    geomean_fs_bta: f64,
+    geomean_dagguise: f64,
+}
+
+fn main() {
+    let mut scale = dg_bench::parse_args();
+    // Eight-core runs cost ~4x a two-core run; trim the quick preset.
+    if scale == dg_bench::Scale::quick() {
+        scale.docdist_words /= 2;
+        scale.dna_read /= 2;
+        scale.spec_instructions /= 2;
+    }
+    let cfg = SystemConfig::eight_core();
+
+    let doc0 = dg_bench::workloads::docdist_trace(&scale, 0);
+    let doc1 = dg_bench::workloads::docdist_trace(&scale, 1);
+    let dna0 = dg_bench::workloads::dna_trace(&scale, 0);
+    let dna1 = dg_bench::workloads::dna_trace(&scale, 1);
+    let doc_def = dg_bench::workloads::docdist_defense();
+    let dna_def = dg_bench::workloads::dna_defense();
+
+    let apps = spec_names();
+    let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
+    let jobs: Mutex<Vec<(usize, &str)>> =
+        Mutex::new(apps.iter().copied().enumerate().collect());
+    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+
+    thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| loop {
+                let (slot, app) = match jobs.lock().pop() {
+                    Some(j) => j,
+                    None => break,
+                };
+                // Four victims + four identical SPEC instances.
+                let traces = || {
+                    vec![
+                        doc0.clone(),
+                        doc1.clone(),
+                        dna0.clone(),
+                        dna1.clone(),
+                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4),
+                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 1),
+                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 2),
+                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 3),
+                    ]
+                };
+                let protection = vec![
+                    Some(doc_def),
+                    Some(doc_def),
+                    Some(dna_def),
+                    Some(dna_def),
+                    None,
+                    None,
+                    None,
+                    None,
+                ];
+                let run = |kind: MemoryKind| {
+                    run_colocation(&cfg, traces(), kind, scale.budget)
+                        .unwrap_or_else(|e| panic!("{app}: {e}"))
+                };
+                let insecure = run(MemoryKind::Insecure);
+                let fs = run(MemoryKind::FsBta);
+                let dag = run(MemoryKind::Dagguise {
+                    protected: protection,
+                });
+                let avg_norm = |r: &dg_system::ColocationResult| {
+                    (0..8)
+                        .map(|i| r.cores[i].ipc / insecure.cores[i].ipc)
+                        .sum::<f64>()
+                        / 8.0
+                };
+                let res = AppResult {
+                    app: app.to_string(),
+                    fs_bta_avg: avg_norm(&fs),
+                    dagguise_avg: avg_norm(&dag),
+                };
+                eprintln!(
+                    "{:>10}: FS-BTA {:.3}  DAGguise {:.3}",
+                    app, res.fs_bta_avg, res.dagguise_avg
+                );
+                results.lock().push(res);
+            });
+        }
+    })
+    .expect("workers joined");
+
+    let mut apps_res = results.into_inner();
+    apps_res.sort_by(|a, b| a.app.cmp(&b.app));
+
+    let g_fs = geomean(&apps_res.iter().map(|r| r.fs_bta_avg).collect::<Vec<_>>()).unwrap_or(0.0);
+    let g_dag =
+        geomean(&apps_res.iter().map(|r| r.dagguise_avg).collect::<Vec<_>>()).unwrap_or(0.0);
+
+    let mut rows: Vec<Vec<String>> = apps_res
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                format!("{:.3}", r.fs_bta_avg),
+                format!("{:.3}", r.dagguise_avg),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "geomean".into(),
+        format!("{:.3}", g_fs),
+        format!("{:.3}", g_dag),
+    ]);
+    dg_bench::print_table(
+        "Figure 10: average normalized IPC, 2 DocDist + 2 DNA + 4 SPEC (eight cores)",
+        &["app", "FS-BTA", "DAGguise"],
+        &rows,
+    );
+
+    println!(
+        "\nSystem slowdown vs insecure: DAGguise {:.1}% (paper ~34%), FS-BTA {:.1}%.",
+        (1.0 - g_dag) * 100.0,
+        (1.0 - g_fs) * 100.0
+    );
+    println!(
+        "DAGguise relative speedup over FS-BTA: {:.1}% (paper: ~12% on eight cores).",
+        (g_dag / g_fs - 1.0) * 100.0
+    );
+
+    dg_bench::write_results(
+        "fig10_eightcore",
+        &Fig10Data {
+            apps: apps_res,
+            geomean_fs_bta: g_fs,
+            geomean_dagguise: g_dag,
+        },
+    );
+}

@@ -1,0 +1,151 @@
+//! Figure 9: average normalized IPC running DocDist with one SPEC
+//! application on a two-core system, under FS-BTA and DAGguise, each
+//! normalized to the insecure baseline.
+//!
+//! Paper shape to reproduce: DAGguise ≈ 10% average system slowdown,
+//! ≈ 6% better than FS-BTA overall; the SPEC side does markedly better
+//! under DAGguise (≈ 20% on average) while DocDist does somewhat worse.
+
+use crossbeam::thread;
+use dg_sim::config::SystemConfig;
+use dg_sim::stats::geomean;
+use dg_system::{run_colocation, MemoryKind};
+use dg_workloads::spec_names;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+#[derive(Serialize, Clone)]
+struct AppResult {
+    app: String,
+    fs_bta_avg: f64,
+    dagguise_avg: f64,
+    fs_bta_victim: f64,
+    dagguise_victim: f64,
+    fs_bta_spec: f64,
+    dagguise_spec: f64,
+}
+
+#[derive(Serialize)]
+struct Fig9Data {
+    apps: Vec<AppResult>,
+    geomean_fs_bta: f64,
+    geomean_dagguise: f64,
+}
+
+fn main() {
+    let scale = dg_bench::parse_args();
+    let cfg = SystemConfig::two_core();
+    let victim = dg_bench::workloads::docdist_trace(&scale, 0);
+    let defense = dg_bench::workloads::docdist_defense();
+
+    let apps = spec_names();
+    let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
+    let jobs: Mutex<Vec<(usize, &str)>> =
+        Mutex::new(apps.iter().copied().enumerate().collect());
+    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+
+    thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| loop {
+                let (slot, app) = match jobs.lock().pop() {
+                    Some(j) => j,
+                    None => break,
+                };
+                let co = dg_bench::workloads::spec_trace(&scale, app, slot as u64);
+                let run = |kind: MemoryKind| {
+                    run_colocation(&cfg, vec![victim.clone(), co.clone()], kind, scale.budget)
+                        .unwrap_or_else(|e| panic!("{app}: {e}"))
+                };
+                let insecure = run(MemoryKind::Insecure);
+                let fs = run(MemoryKind::FsBta);
+                let dag = run(MemoryKind::Dagguise {
+                    protected: vec![Some(defense), None],
+                });
+
+                let norm = |r: &dg_system::ColocationResult, i: usize| {
+                    r.cores[i].ipc / insecure.cores[i].ipc
+                };
+                let res = AppResult {
+                    app: app.to_string(),
+                    fs_bta_victim: norm(&fs, 0),
+                    fs_bta_spec: norm(&fs, 1),
+                    fs_bta_avg: (norm(&fs, 0) + norm(&fs, 1)) / 2.0,
+                    dagguise_victim: norm(&dag, 0),
+                    dagguise_spec: norm(&dag, 1),
+                    dagguise_avg: (norm(&dag, 0) + norm(&dag, 1)) / 2.0,
+                };
+                eprintln!(
+                    "{:>10}: FS-BTA {:.3}  DAGguise {:.3}",
+                    app, res.fs_bta_avg, res.dagguise_avg
+                );
+                results.lock().push(res);
+            });
+        }
+    })
+    .expect("workers joined");
+
+    let mut apps_res = results.into_inner();
+    apps_res.sort_by(|a, b| a.app.cmp(&b.app));
+
+    let rows: Vec<Vec<String>> = apps_res
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                format!("{:.3}", r.fs_bta_avg),
+                format!("{:.3}", r.dagguise_avg),
+                format!("{:.3}", r.fs_bta_victim),
+                format!("{:.3}", r.dagguise_victim),
+                format!("{:.3}", r.fs_bta_spec),
+                format!("{:.3}", r.dagguise_spec),
+            ]
+        })
+        .collect();
+
+    let g_fs = geomean(&apps_res.iter().map(|r| r.fs_bta_avg).collect::<Vec<_>>()).unwrap_or(0.0);
+    let g_dag =
+        geomean(&apps_res.iter().map(|r| r.dagguise_avg).collect::<Vec<_>>()).unwrap_or(0.0);
+
+    let mut all_rows = rows;
+    all_rows.push(vec![
+        "geomean".into(),
+        format!("{:.3}", g_fs),
+        format!("{:.3}", g_dag),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    dg_bench::print_table(
+        "Figure 9: average normalized IPC, DocDist + 1 SPEC app (two cores)",
+        &[
+            "app",
+            "FS-BTA avg",
+            "DAGguise avg",
+            "FS victim",
+            "DAG victim",
+            "FS spec",
+            "DAG spec",
+        ],
+        &all_rows,
+    );
+
+    println!(
+        "\nSystem slowdown vs insecure: DAGguise {:.1}%, FS-BTA {:.1}%.",
+        (1.0 - g_dag) * 100.0,
+        (1.0 - g_fs) * 100.0
+    );
+    println!(
+        "DAGguise relative speedup over FS-BTA: {:.1}% (paper: ~6% on two cores).",
+        (g_dag / g_fs - 1.0) * 100.0
+    );
+
+    dg_bench::write_results(
+        "fig9_twocore",
+        &Fig9Data {
+            apps: apps_res,
+            geomean_fs_bta: g_fs,
+            geomean_dagguise: g_dag,
+        },
+    );
+}

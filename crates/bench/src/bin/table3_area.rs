@@ -1,0 +1,67 @@
+//! Table 3: area overhead of DAGguise for eight protected domains, plus a
+//! scaling sweep (domains × queue depth) as an extension.
+
+use dg_area::{area_report, AreaConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Data {
+    paper: dg_area::AreaReport,
+    sweep: Vec<(u32, u32, f64)>,
+}
+
+fn main() {
+    let _ = dg_bench::parse_args();
+    let r = area_report(&AreaConfig::paper());
+
+    dg_bench::print_table(
+        "Table 3: area overhead of DAGguise for 8 protected domains",
+        &["component", "resources", "area (mm^2)", "paper (mm^2)"],
+        &[
+            vec![
+                "Computation logic".into(),
+                format!("{} gates", r.logic_gates),
+                format!("{:.5}", r.logic_mm2),
+                "0.02022".into(),
+            ],
+            vec![
+                "Private queue (8 x 8 entries)".into(),
+                format!("{} B (72B x 64) SRAM", r.sram_bytes),
+                format!("{:.5}", r.sram_mm2),
+                "0.01705".into(),
+            ],
+            vec![
+                "Total".into(),
+                "-".into(),
+                format!("{:.5}", r.total_mm2()),
+                "0.03727".into(),
+            ],
+        ],
+    );
+
+    // Extension: how the footprint scales.
+    let mut sweep_rows = Vec::new();
+    let mut sweep = Vec::new();
+    for domains in [1u32, 2, 4, 8, 16] {
+        for entries in [4u32, 8, 16] {
+            let rep = area_report(&AreaConfig {
+                domains,
+                queue_entries: entries,
+                ..AreaConfig::paper()
+            });
+            sweep_rows.push(vec![
+                domains.to_string(),
+                entries.to_string(),
+                format!("{:.5}", rep.total_mm2()),
+            ]);
+            sweep.push((domains, entries, rep.total_mm2()));
+        }
+    }
+    dg_bench::print_table(
+        "Extension: area scaling",
+        &["domains", "queue entries", "total (mm^2)"],
+        &sweep_rows,
+    );
+
+    dg_bench::write_results("table3_area", &Table3Data { paper: r, sweep });
+}

@@ -1,0 +1,109 @@
+//! Shared infrastructure for the figure/table harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one experiment of the paper:
+//!
+//! | Binary                | Reproduces |
+//! |-----------------------|------------|
+//! | `fig1_attack`         | Figure 1 — the contention attack ladder |
+//! | `fig2_camouflage`     | Figure 2 — Camouflage's ordering leak |
+//! | `fig5_example`        | Figure 5 — shaping + adaptivity running example |
+//! | `fig6_templates`      | Figure 6 — rDAG templates (DOT output) |
+//! | `fig7_profiling`      | Figure 7 — defense-rDAG selection sweep for DocDist |
+//! | `fig9_twocore`        | Figure 9 — two-core normalized IPC across SPEC |
+//! | `fig10_eightcore`     | Figure 10 — eight-core scalability |
+//! | `table3_area`         | Table 3 — area breakdown |
+//! | `verify_security`     | §5 — BMC + k-induction + unwinding proof |
+//! | `ablation_adaptivity` | §6.2/6.3 claim — dynamic bandwidth reallocation |
+//!
+//! Every harness accepts `--full` for paper-scale workloads (quick scale
+//! is the default so the whole suite runs in minutes) and writes its raw
+//! series as JSON under `results/`.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+pub mod scale;
+pub mod workloads;
+
+pub use scale::Scale;
+
+/// Parses the common harness flags. Returns the selected scale.
+pub fn parse_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    }
+}
+
+/// Writes an experiment's raw data as JSON under `results/`.
+///
+/// Failures to write are reported but do not abort the harness — the
+/// printed table is the primary output.
+pub fn write_results<T: Serialize>(name: &str, data: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(data) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}
+
+/// Prints a row-oriented table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn default_scale_is_quick() {
+        // parse_args reads argv; in the test harness no --full is present.
+        let s = parse_args();
+        assert_eq!(s, Scale::quick());
+    }
+}

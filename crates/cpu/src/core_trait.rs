@@ -1,0 +1,37 @@
+//! The interface `dg-system` uses to drive heterogeneous cores.
+
+use dg_cache::SetAssocCache;
+use dg_mem::MemorySubsystem;
+use dg_sim::clock::Cycle;
+use dg_sim::types::{DomainId, MemResponse};
+
+/// A simulated core: advanced one cycle at a time against the shared L3
+/// and the memory subsystem.
+pub trait Core: Send {
+    /// The security domain this core belongs to.
+    fn domain(&self) -> DomainId;
+
+    /// Advances one CPU cycle. The core may look up the shared `l3` and
+    /// issue requests into `mem`.
+    fn tick(&mut self, now: Cycle, l3: &mut SetAssocCache, mem: &mut dyn MemorySubsystem);
+
+    /// Delivers a completed memory response belonging to this core.
+    fn on_response(&mut self, resp: &MemResponse, now: Cycle);
+
+    /// True once the workload has fully retired (including draining
+    /// outstanding misses and write-backs).
+    fn finished(&self) -> bool;
+
+    /// Instructions retired so far.
+    fn instructions_retired(&self) -> u64;
+
+    /// Cycle at which the core finished, if it has.
+    fn finished_at(&self) -> Option<Cycle>;
+
+    /// IPC over the interval `[0, end]` where `end` is the finish time (if
+    /// finished) or `now` otherwise.
+    fn ipc_at(&self, now: Cycle) -> f64 {
+        let end = self.finished_at().unwrap_or(now).max(1);
+        self.instructions_retired() as f64 / end as f64
+    }
+}

@@ -1,0 +1,27 @@
+//! Core models (the gem5 CPU-side substitute).
+//!
+//! Two cores are provided:
+//!
+//! * [`TraceCore`] — executes a [`MemTrace`] (an address stream annotated
+//!   with instruction counts) through the `dg-cache` hierarchy. Misses are
+//!   non-blocking up to an MSHR limit and a reorder-buffer occupancy bound,
+//!   reproducing the memory-level parallelism that determines how much a
+//!   workload suffers under memory-controller contention.
+//! * [`DagCore`] — executes a [`DagWorkload`], a dependency graph of
+//!   memory requests (the paper's *original rDAG* view of an application,
+//!   §4.1): each request becomes ready a fixed delay after its
+//!   dependencies complete. Used for the illustrative experiments
+//!   (Figure 5) and for workloads expressed directly as request DAGs.
+//!
+//! Both implement the [`Core`] trait that `dg-system` drives cycle by
+//! cycle against a shared L3 and a [`dg_mem::MemorySubsystem`].
+
+pub mod core_trait;
+pub mod dag_core;
+pub mod trace;
+pub mod trace_core;
+
+pub use core_trait::Core;
+pub use dag_core::{DagCore, DagReq, DagWorkload};
+pub use trace::{MemTrace, TraceOp};
+pub use trace_core::TraceCore;

@@ -1,0 +1,319 @@
+//! Camouflage (Zhou et al. \[36\]).
+//!
+//! Camouflage shapes the *injection intervals* between consecutive memory
+//! requests to follow a profiled distribution that is independent of the
+//! secret, delaying real requests and issuing fakes when necessary.
+//!
+//! Its two weaknesses, which DAGguise fixes (Figure 2 / §3.1):
+//!
+//! 1. Only the *distribution* of intervals is fixed — the *ordering* of
+//!    intervals still depends on the victim's traffic, because the sampler
+//!    is re-seeded from the victim's request stream (we model this as the
+//!    shaper drawing a fresh interval only when forwarding completes, with
+//!    the draw order perturbed by queue occupancy — matching the paper's
+//!    observation that "the output of the shaper is not necessarily
+//!    deterministic").
+//! 2. Bank information is not shaped at all: forwarded requests carry the
+//!    victim's own bank, and fakes pick uniformly random banks, so bank
+//!    contention still leaks.
+
+use std::collections::VecDeque;
+
+use dg_dram::{AddressMapper, MapScheme, PhysLoc};
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_sim::rng::DetRng;
+use dg_sim::types::{DomainId, MemRequest, MemResponse, ReqId, ReqType};
+use serde::{Deserialize, Serialize};
+
+use dg_mem::DomainShaper;
+
+/// An empirical distribution of injection intervals (CPU cycles), as
+/// produced by Camouflage's offline profiling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalDistribution {
+    intervals: Vec<Cycle>,
+}
+
+impl IntervalDistribution {
+    /// Creates a distribution from profiled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty.
+    pub fn new(intervals: Vec<Cycle>) -> Self {
+        assert!(!intervals.is_empty(), "distribution needs samples");
+        Self { intervals }
+    }
+
+    /// The Figure 2 example: one 200-cycle and one 400-cycle interval.
+    pub fn figure2() -> Self {
+        Self::new(vec![200, 400])
+    }
+
+    /// Draws an interval uniformly from the samples.
+    pub fn sample(&self, rng: &mut DetRng) -> Cycle {
+        self.intervals[rng.next_below(self.intervals.len() as u64) as usize]
+    }
+
+    /// Mean interval.
+    pub fn mean(&self) -> f64 {
+        self.intervals.iter().sum::<u64>() as f64 / self.intervals.len() as f64
+    }
+
+    /// Shortest profiled interval.
+    pub fn min_interval(&self) -> Cycle {
+        *self.intervals.iter().min().expect("distribution non-empty")
+    }
+}
+
+/// The Camouflage per-domain shaper.
+///
+/// Implements [`DomainShaper`] so it can be compared head-to-head with the
+/// DAGguise shaper in the same [`dg_mem::ShapedMemory`] harness.
+#[derive(Debug)]
+pub struct CamouflageShaper {
+    domain: DomainId,
+    dist: IntervalDistribution,
+    queue: VecDeque<MemRequest>,
+    capacity: usize,
+    mapper: AddressMapper,
+    rng: DetRng,
+    next_injection: Cycle,
+    banks: u32,
+    rows: u64,
+    cols: u64,
+    fake_seq: u64,
+    fakes: u64,
+    forwarded: u64,
+}
+
+impl CamouflageShaper {
+    /// Builds a Camouflage shaper for `domain` using the profiled
+    /// `dist`ribution.
+    pub fn new(domain: DomainId, dist: IntervalDistribution, sys: &SystemConfig, seed: u64) -> Self {
+        let mapper = AddressMapper::new(
+            MapScheme::BankInterleaved,
+            sys.dram_org.banks,
+            sys.dram_org.row_bytes,
+            sys.dram_org.line_bytes,
+        );
+        let rows = sys.dram_org.capacity_bytes
+            / (u64::from(sys.dram_org.banks) * sys.dram_org.row_bytes);
+        Self {
+            domain,
+            dist,
+            queue: VecDeque::new(),
+            capacity: sys.queues.private_queue,
+            mapper,
+            rng: DetRng::new(seed),
+            next_injection: 0,
+            banks: sys.dram_org.banks,
+            rows: rows.max(1),
+            cols: sys.dram_org.row_bytes / sys.dram_org.line_bytes,
+            fake_seq: 0,
+            fakes: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Fake requests fabricated so far.
+    pub fn fakes(&self) -> u64 {
+        self.fakes
+    }
+
+    /// Real requests forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    fn make_fake(&mut self, now: Cycle) -> MemRequest {
+        // Camouflage does not shape banks: fakes go to uniformly random
+        // banks, and real requests keep their own — both leak.
+        let addr = self.mapper.encode(PhysLoc {
+            bank: (self.rng.next_below(u64::from(self.banks))) as u32,
+            row: self.rng.next_below(self.rows),
+            col: self.rng.next_below(self.cols),
+        });
+        self.fake_seq += 1;
+        let id = ReqId::compose(DomainId(self.domain.0 | 0x8000), self.fake_seq);
+        let mut req = MemRequest::fake(self.domain, addr, ReqType::Read, now);
+        req.id = id;
+        req
+    }
+
+    /// The key modeled weakness: the *next* interval drawn depends on the
+    /// victim's queue occupancy, so different secrets reorder the interval
+    /// sequence even though its distribution is unchanged (Figure 2).
+    fn draw_interval(&mut self, now: Cycle) -> Cycle {
+        if !self.queue.is_empty() {
+            // Eagerly pick the shortest profiled interval to drain backlog —
+            // an optimization real traffic shapers make, and exactly what
+            // breaks ordering independence.
+            self.dist.min_interval()
+        } else {
+            let _ = now;
+            self.dist.sample(&mut self.rng)
+        }
+    }
+}
+
+impl DomainShaper for CamouflageShaper {
+    fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    fn try_accept(&mut self, req: MemRequest, _now: Cycle) -> Result<(), MemRequest> {
+        if self.queue.len() >= self.capacity {
+            return Err(req);
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest> {
+        if space == 0 || now < self.next_injection {
+            return Vec::new();
+        }
+        let req = match self.queue.pop_front() {
+            Some(r) => {
+                self.forwarded += 1;
+                r
+            }
+            None => {
+                self.fakes += 1;
+                self.make_fake(now)
+            }
+        };
+        let interval = self.draw_interval(now);
+        self.next_injection = now + interval;
+        vec![req]
+    }
+
+    fn on_response(&mut self, resp: &MemResponse, _now: Cycle) -> Option<MemResponse> {
+        if resp.kind.is_fake() {
+            None
+        } else {
+            Some(*resp)
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemConfig {
+        let mut c = SystemConfig::two_core();
+        c.clock_ratio = dg_sim::clock::ClockRatio::new(1);
+        c
+    }
+
+    fn shaper(seed: u64) -> CamouflageShaper {
+        CamouflageShaper::new(DomainId(0), IntervalDistribution::figure2(), &sys(), seed)
+    }
+
+    fn injection_times(s: &mut CamouflageShaper, cycles: Cycle) -> Vec<Cycle> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            if !s.tick(now, usize::MAX).is_empty() {
+                out.push(now);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn intervals_come_from_distribution_when_idle() {
+        let mut s = shaper(1);
+        let times = injection_times(&mut s, 5000);
+        let gaps: Vec<Cycle> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(!gaps.is_empty());
+        assert!(gaps.iter().all(|g| *g == 200 || *g == 400), "gaps {gaps:?}");
+        assert!(s.fakes() > 0);
+    }
+
+    #[test]
+    fn ordering_depends_on_victim_traffic_the_leak() {
+        // Two victims with identical request *counts* but different timing
+        // produce different interval orderings — the Figure 2 leak.
+        let run = |inject_at: &[Cycle]| {
+            let mut s = shaper(7);
+            let mut times = Vec::new();
+            let mut k = 0u64;
+            for now in 0..4000 {
+                if inject_at.contains(&now) {
+                    k += 1;
+                    let req = MemRequest::read(DomainId(0), k * 64, now)
+                        .with_id(ReqId::compose(DomainId(0), k));
+                    let _ = s.try_accept(req, now);
+                }
+                if !s.tick(now, usize::MAX).is_empty() {
+                    times.push(now);
+                }
+            }
+            times
+        };
+        let a = run(&[100, 150]); // secret 0: early burst
+        let b = run(&[2000, 2050]); // secret 1: late burst
+        assert_ne!(a, b, "Camouflage output depends on the victim's timing");
+    }
+
+    #[test]
+    fn forwarded_requests_keep_their_bank() {
+        let mut s = shaper(3);
+        let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+        let victim_addr = mapper.encode(PhysLoc { bank: 5, row: 1, col: 0 });
+        let req = MemRequest::read(DomainId(0), victim_addr, 0)
+            .with_id(ReqId::compose(DomainId(0), 1));
+        s.try_accept(req, 0).unwrap();
+        let out = s.tick(0, usize::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(mapper.decode(out[0].addr).bank, 5, "bank info leaks through");
+    }
+
+    #[test]
+    fn fake_responses_consumed_real_forwarded() {
+        let mut s = shaper(1);
+        let out = s.tick(0, usize::MAX);
+        let fake = out[0];
+        let resp = MemResponse {
+            id: fake.id,
+            domain: fake.domain,
+            addr: fake.addr,
+            req_type: fake.req_type,
+            kind: fake.kind,
+            arrived_at: 0,
+            completed_at: 9,
+        };
+        assert!(s.on_response(&resp, 9).is_none());
+    }
+
+    #[test]
+    fn backpressure() {
+        let mut s = shaper(1);
+        for i in 0..s.capacity as u64 {
+            let req =
+                MemRequest::read(DomainId(0), i * 64, 0).with_id(ReqId::compose(DomainId(0), i));
+            s.try_accept(req, 0).unwrap();
+        }
+        let extra = MemRequest::read(DomainId(0), 0x9000, 0)
+            .with_id(ReqId::compose(DomainId(0), 999));
+        assert!(s.try_accept(extra, 0).is_err());
+    }
+
+    #[test]
+    fn distribution_mean() {
+        assert_eq!(IntervalDistribution::figure2().mean(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_distribution_panics() {
+        IntervalDistribution::new(vec![]);
+    }
+}

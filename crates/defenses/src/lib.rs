@@ -1,0 +1,29 @@
+//! Baseline memory timing side-channel defenses.
+//!
+//! The paper compares DAGguise against the prior art:
+//!
+//! * [`fs`] — **Fixed Service** (Shafiee et al., MICRO'15, §3.1) and its
+//!   performance-optimized variant **FS-BTA** (Bank Triple Alternation,
+//!   §6.1): deterministic slotted schedules that completely isolate
+//!   security domains at the cost of static bandwidth partitioning.
+//! * [`tp`] — **Temporal Partitioning** (Wang et al., HPCA'14, §8):
+//!   coarse time-multiplexing of the whole controller across domains.
+//! * [`camouflage`] — **Camouflage** (Zhou et al., HPCA'17, §3.1): a
+//!   per-domain shaper that matches a *distribution* of injection
+//!   intervals but — unlike DAGguise — hides neither the ordering of
+//!   intervals nor bank information (Figure 2).
+//!
+//! Fixed Service and Temporal Partitioning replace the memory controller
+//! (they implement [`dg_mem::MemorySubsystem`]); Camouflage is a
+//! [`dg_mem::DomainShaper`] plugged into a shared controller, like
+//! DAGguise itself.
+
+pub mod camouflage;
+pub mod fs;
+pub mod fs_spatial;
+pub mod tp;
+
+pub use camouflage::{CamouflageShaper, IntervalDistribution};
+pub use fs::{FixedService, FsConfig};
+pub use fs_spatial::{FsSpatial, FsSpatialConfig};
+pub use tp::{TemporalPartition, TpConfig};

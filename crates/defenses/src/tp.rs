@@ -1,0 +1,255 @@
+//! Temporal Partitioning (Wang et al. \[29\], discussed in §8).
+//!
+//! TP divides time into fixed-length *periods*; during domain *d*'s period
+//! only *d*'s requests are scheduled. Like Fixed Service this guarantees
+//! non-interference, but the coarse granularity wastes even more bandwidth:
+//! a domain's requests arriving just after its period wait for a full
+//! rotation, and dead time must be reserved at each period's end so the
+//! last request drains before the next domain begins.
+
+use std::collections::VecDeque;
+
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_sim::types::{MemRequest, MemResponse};
+use serde::{Deserialize, Serialize};
+
+use dg_mem::{MemStats, MemorySubsystem};
+
+/// Configuration for the Temporal Partitioning controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TpConfig {
+    /// Number of security domains in the rotation.
+    pub domains: usize,
+    /// Period length per domain in CPU cycles.
+    pub period: Cycle,
+    /// Deterministic service latency in CPU cycles.
+    pub service: Cycle,
+    /// Issue interval within a period (bank occupancy) in CPU cycles.
+    pub issue_interval: Cycle,
+    /// Per-domain queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl TpConfig {
+    /// A TP configuration with periods of `slots_per_period` request slots.
+    pub fn new(sys: &SystemConfig, domains: usize, slots_per_period: u64) -> Self {
+        let r = sys.clock_ratio;
+        let issue_interval = r.dram_to_cpu(sys.timing.tRC);
+        Self {
+            domains,
+            period: issue_interval * slots_per_period,
+            service: r.dram_to_cpu(sys.timing.tRCD + sys.timing.tCAS + sys.timing.tBURST),
+            issue_interval,
+            queue_capacity: sys.queues.transaction_queue,
+        }
+    }
+}
+
+/// The Temporal Partitioning memory subsystem.
+#[derive(Debug)]
+pub struct TemporalPartition {
+    config: TpConfig,
+    queues: Vec<VecDeque<MemRequest>>,
+    in_flight: Vec<MemResponse>,
+    stats: MemStats,
+    issued: u64,
+}
+
+impl TemporalPartition {
+    /// Builds the controller.
+    pub fn new(sys: &SystemConfig, config: TpConfig) -> Self {
+        assert!(config.domains > 0, "need at least one domain");
+        assert!(
+            config.period >= config.issue_interval,
+            "period must hold at least one slot"
+        );
+        Self {
+            queues: (0..config.domains).map(|_| VecDeque::new()).collect(),
+            in_flight: Vec::new(),
+            stats: MemStats::new(config.domains + 2, sys.dram_org.line_bytes),
+            issued: 0,
+            config,
+        }
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The domain owning the period containing `now`, and whether a new
+    /// issue at `now` would still drain before the period ends.
+    fn slot_at(&self, now: Cycle) -> Option<usize> {
+        let period_idx = now / self.config.period;
+        let offset = now % self.config.period;
+        // Issue only on slot boundaries within the period.
+        if !offset.is_multiple_of(self.config.issue_interval) {
+            return None;
+        }
+        // Dead time: the response must complete inside the owner's period.
+        if offset + self.config.service > self.config.period {
+            return None;
+        }
+        Some((period_idx % self.config.domains as u64) as usize)
+    }
+}
+
+impl MemorySubsystem for TemporalPartition {
+    fn try_send(&mut self, req: MemRequest, _now: Cycle) -> Result<(), MemRequest> {
+        let d = req.domain.0 as usize;
+        assert!(d < self.queues.len(), "domain {} out of range", req.domain);
+        if self.queues[d].len() >= self.config.queue_capacity {
+            return Err(req);
+        }
+        self.queues[d].push_back(req);
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+        if let Some(domain) = self.slot_at(now) {
+            if let Some(req) = self.queues[domain].pop_front() {
+                self.issued += 1;
+                self.in_flight.push(MemResponse {
+                    id: req.id,
+                    domain: req.domain,
+                    addr: req.addr,
+                    req_type: req.req_type,
+                    kind: req.kind,
+                    arrived_at: req.created_at,
+                    completed_at: now + self.config.service,
+                });
+            }
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].completed_at <= now {
+                let resp = self.in_flight.swap_remove(i);
+                self.stats.record(&resp);
+                out.push(resp);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn free_slots(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| self.config.queue_capacity - q.len())
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::types::{DomainId, ReqId};
+
+    fn sys() -> SystemConfig {
+        let mut c = SystemConfig::two_core();
+        c.clock_ratio = dg_sim::clock::ClockRatio::new(1);
+        c
+    }
+
+    fn req(domain: u16, addr: u64, id: u64) -> MemRequest {
+        MemRequest::read(DomainId(domain), addr, 0).with_id(ReqId::compose(DomainId(domain), id))
+    }
+
+    fn drive(tp: &mut TemporalPartition, until: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        for now in 0..until {
+            out.extend(tp.tick(now));
+        }
+        out
+    }
+
+    #[test]
+    fn domain_waits_for_its_period() {
+        let s = sys();
+        let cfg = TpConfig::new(&s, 2, 4);
+        let mut tp = TemporalPartition::new(&s, cfg);
+        // Domain 1's request arrives at cycle 0 but period 0 belongs to
+        // domain 0: it issues at the start of period 1.
+        tp.try_send(req(1, 0x40, 1), 0).unwrap();
+        let done = drive(&mut tp, cfg.period * 3);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed_at, cfg.period + cfg.service);
+    }
+
+    #[test]
+    fn dead_time_blocks_issue_near_period_end() {
+        let s = sys();
+        let cfg = TpConfig::new(&s, 2, 2);
+        let tp = TemporalPartition::new(&s, cfg);
+        // Last slot boundary in the period is at period - issue_interval;
+        // with service > issue_interval that slot is dead.
+        let last_boundary = cfg.period - cfg.issue_interval;
+        if cfg.service > cfg.issue_interval {
+            assert_eq!(tp.slot_at(last_boundary), None);
+        }
+        // Slot 0 of period 0 is usable by domain 0.
+        assert_eq!(tp.slot_at(0), Some(0));
+    }
+
+    #[test]
+    fn non_interference_across_domains() {
+        let s = sys();
+        let cfg = TpConfig::new(&s, 2, 4);
+
+        let mut alone = TemporalPartition::new(&s, cfg);
+        alone.try_send(req(0, 0x40, 1), 0).unwrap();
+        let a = drive(&mut alone, cfg.period * 4);
+
+        let mut loaded = TemporalPartition::new(&s, cfg);
+        loaded.try_send(req(0, 0x40, 1), 0).unwrap();
+        for i in 0..8 {
+            loaded.try_send(req(1, 0x1000 + i * 64, i), 0).unwrap();
+        }
+        let b = drive(&mut loaded, cfg.period * 4);
+
+        let a0: Vec<_> = a.iter().filter(|r| r.domain == DomainId(0)).collect();
+        let b0: Vec<_> = b.iter().filter(|r| r.domain == DomainId(0)).collect();
+        assert_eq!(a0[0].completed_at, b0[0].completed_at);
+    }
+
+    #[test]
+    fn multiple_requests_in_one_period() {
+        let s = sys();
+        let cfg = TpConfig::new(&s, 1, 8);
+        let mut tp = TemporalPartition::new(&s, cfg);
+        for i in 0..4 {
+            tp.try_send(req(0, i * 64, i), 0).unwrap();
+        }
+        let done = drive(&mut tp, cfg.period);
+        assert_eq!(done.len(), 4);
+        // Issued at consecutive slot boundaries.
+        for (i, r) in done.iter().enumerate() {
+            assert_eq!(
+                r.completed_at,
+                cfg.issue_interval * i as u64 + cfg.service
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure() {
+        let s = sys();
+        let mut cfg = TpConfig::new(&s, 1, 4);
+        cfg.queue_capacity = 1;
+        let mut tp = TemporalPartition::new(&s, cfg);
+        tp.try_send(req(0, 0, 1), 0).unwrap();
+        assert!(tp.try_send(req(0, 64, 2), 0).is_err());
+    }
+}

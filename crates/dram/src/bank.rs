@@ -1,0 +1,286 @@
+//! Per-bank row-buffer state machine.
+//!
+//! Each bank tracks its open row and the earliest cycle at which each
+//! command class (ACT, RD/WR, PRE) may legally be issued, updating those
+//! horizons as commands are applied. The device model (see
+//! [`crate::device`]) layers the rank-wide constraints (tRRD, tFAW, bus
+//! turnaround, refresh) on top.
+
+use dg_sim::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::command::RowId;
+use crate::timing::CpuTiming;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row is open (precharged).
+    #[default]
+    Idle,
+    /// `row` is open in the row buffer.
+    Active {
+        /// The open row.
+        row: RowId,
+    },
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest legal ACT.
+    next_act: Cycle,
+    /// Earliest legal RD/WR (valid only while a row is open).
+    next_col: Cycle,
+    /// Earliest legal PRE.
+    next_pre: Cycle,
+}
+
+impl Bank {
+    /// A bank in the reset state: idle, every command legal at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            state: BankState::Idle,
+            next_act: 0,
+            next_col: 0,
+            next_pre: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Returns the open row, if any.
+    pub fn open_row(&self) -> Option<RowId> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Earliest cycle an ACT may be issued.
+    pub fn earliest_activate(&self) -> Cycle {
+        self.next_act
+    }
+
+    /// Earliest cycle a RD/WR may be issued (meaningful only when a row is
+    /// open).
+    pub fn earliest_column(&self) -> Cycle {
+        self.next_col
+    }
+
+    /// Earliest cycle a PRE may be issued.
+    pub fn earliest_precharge(&self) -> Cycle {
+        self.next_pre
+    }
+
+    /// Applies an ACT at cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is not idle or `t` is before the legal horizon —
+    /// callers must consult [`earliest_activate`](Self::earliest_activate).
+    pub fn activate(&mut self, t: Cycle, row: RowId, timing: &CpuTiming) {
+        assert_eq!(self.state, BankState::Idle, "ACT to non-idle bank");
+        assert!(t >= self.next_act, "ACT at {t} before horizon {}", self.next_act);
+        self.state = BankState::Active { row };
+        self.next_col = t + timing.tRCD;
+        self.next_pre = t + timing.tRAS;
+        self.next_act = t + timing.tRC;
+    }
+
+    /// Applies a RD at cycle `t`. With `auto_precharge`, the bank precharges
+    /// itself as soon as legal after the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or `t` is before the column horizon.
+    pub fn read(&mut self, t: Cycle, auto_precharge: bool, timing: &CpuTiming) {
+        assert!(
+            matches!(self.state, BankState::Active { .. }),
+            "RD to idle bank"
+        );
+        assert!(t >= self.next_col, "RD at {t} before horizon {}", self.next_col);
+        self.next_col = self.next_col.max(t + timing.tCCD);
+        self.next_pre = self.next_pre.max(t + timing.tRTP);
+        if auto_precharge {
+            let pre_at = self.next_pre;
+            self.apply_precharge(pre_at, timing);
+        }
+    }
+
+    /// Applies a WR at cycle `t`. Write data occupies the bus starting at
+    /// `t + tCWD`; the bank may not precharge until `tWR` after the last
+    /// data beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or `t` is before the column horizon.
+    pub fn write(&mut self, t: Cycle, auto_precharge: bool, timing: &CpuTiming) {
+        assert!(
+            matches!(self.state, BankState::Active { .. }),
+            "WR to idle bank"
+        );
+        assert!(t >= self.next_col, "WR at {t} before horizon {}", self.next_col);
+        self.next_col = self.next_col.max(t + timing.tCCD);
+        self.next_pre = self.next_pre.max(t + timing.tCWD + timing.tBURST + timing.tWR);
+        if auto_precharge {
+            let pre_at = self.next_pre;
+            self.apply_precharge(pre_at, timing);
+        }
+    }
+
+    /// Applies a PRE at cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the precharge horizon.
+    pub fn precharge(&mut self, t: Cycle, timing: &CpuTiming) {
+        assert!(t >= self.next_pre, "PRE at {t} before horizon {}", self.next_pre);
+        self.apply_precharge(t, timing);
+    }
+
+    fn apply_precharge(&mut self, t: Cycle, timing: &CpuTiming) {
+        self.state = BankState::Idle;
+        self.next_act = self.next_act.max(t + timing.tRP);
+    }
+
+    /// Applies a rank-wide refresh that ends at cycle `done`.
+    pub fn refresh_until(&mut self, done: Cycle) {
+        self.state = BankState::Idle;
+        self.next_act = self.next_act.max(done);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::clock::ClockRatio;
+    use dg_sim::config::DramTiming;
+
+    fn timing() -> CpuTiming {
+        // Unit clock ratio keeps the numbers equal to Table 2.
+        CpuTiming::from_dram(DramTiming::default(), ClockRatio::new(1))
+    }
+
+    #[test]
+    fn reset_state() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.earliest_activate(), 0);
+    }
+
+    #[test]
+    fn activate_opens_row_and_sets_horizons() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(10, 42, &t);
+        assert_eq!(b.open_row(), Some(42));
+        assert_eq!(b.earliest_column(), 10 + t.tRCD);
+        assert_eq!(b.earliest_precharge(), 10 + t.tRAS);
+        assert_eq!(b.earliest_activate(), 10 + t.tRC);
+    }
+
+    #[test]
+    fn read_without_autopre_keeps_row_open() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        b.read(t.tRCD, false, &t);
+        assert_eq!(b.open_row(), Some(1));
+        // Second read gated by tCCD.
+        assert_eq!(b.earliest_column(), t.tRCD + t.tCCD);
+    }
+
+    #[test]
+    fn read_with_autopre_closes_row() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        b.read(t.tRCD, true, &t);
+        assert_eq!(b.state(), BankState::Idle);
+        // Auto-precharge fires at tRAS (the binding constraint here), then
+        // tRP before the next ACT.
+        assert_eq!(b.earliest_activate(), t.tRAS + t.tRP);
+    }
+
+    #[test]
+    fn write_delays_precharge_by_recovery() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        let wr_at = t.tRCD;
+        b.write(wr_at, false, &t);
+        assert_eq!(
+            b.earliest_precharge(),
+            (wr_at + t.tCWD + t.tBURST + t.tWR).max(t.tRAS)
+        );
+    }
+
+    #[test]
+    fn explicit_precharge_then_activate() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 7, &t);
+        b.read(t.tRCD, false, &t);
+        let pre_at = b.earliest_precharge();
+        b.precharge(pre_at, &t);
+        assert_eq!(b.state(), BankState::Idle);
+        assert!(b.earliest_activate() >= pre_at + t.tRP);
+    }
+
+    #[test]
+    fn trc_binds_back_to_back_activates() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        b.read(t.tRCD, true, &t);
+        // Even though the auto-precharge completes earlier than tRC, the
+        // ACT-to-ACT spacing must still respect tRC.
+        assert!(b.earliest_activate() >= t.tRC.min(t.tRAS + t.tRP));
+    }
+
+    #[test]
+    fn refresh_blocks_activation() {
+        let mut b = Bank::new();
+        b.refresh_until(500);
+        assert_eq!(b.earliest_activate(), 500);
+        assert_eq!(b.state(), BankState::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "ACT to non-idle bank")]
+    fn double_activate_panics() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        b.activate(t.tRC, 2, &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "before horizon")]
+    fn early_read_panics() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.activate(0, 1, &t);
+        b.read(1, false, &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "RD to idle bank")]
+    fn read_idle_panics() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.read(100, false, &t);
+    }
+}

@@ -1,0 +1,138 @@
+//! DRAM command vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bank index within the rank.
+pub type BankId = u32;
+
+/// A row index within a bank.
+pub type RowId = u64;
+
+/// The DRAM commands a memory controller can issue (§2.1: "each memory
+/// request is converted to a sequence of DRAM commands").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open `row` in `bank` (ACT).
+    Activate {
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Column read from the open row of `bank` (RD / RDA).
+    Read {
+        /// Target bank.
+        bank: BankId,
+        /// Issue with auto-precharge (closed-row policy).
+        auto_precharge: bool,
+    },
+    /// Column write to the open row of `bank` (WR / WRA).
+    Write {
+        /// Target bank.
+        bank: BankId,
+        /// Issue with auto-precharge (closed-row policy).
+        auto_precharge: bool,
+    },
+    /// Close the open row of `bank` (PRE).
+    Precharge {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// All-bank refresh (REF); blocks the whole rank for `tRFC`.
+    Refresh,
+}
+
+impl DramCommand {
+    /// The bank this command targets, or `None` for rank-wide commands.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Precharge { bank } => Some(bank),
+            DramCommand::Refresh => None,
+        }
+    }
+
+    /// True for RD/WR (column commands that move data on the bus).
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramCommand::Activate { bank, row } => write!(f, "ACT b{bank} r{row}"),
+            DramCommand::Read {
+                bank,
+                auto_precharge,
+            } => write!(f, "{} b{bank}", if auto_precharge { "RDA" } else { "RD" }),
+            DramCommand::Write {
+                bank,
+                auto_precharge,
+            } => write!(f, "{} b{bank}", if auto_precharge { "WRA" } else { "WR" }),
+            DramCommand::Precharge { bank } => write!(f, "PRE b{bank}"),
+            DramCommand::Refresh => write!(f, "REF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        assert_eq!(DramCommand::Activate { bank: 3, row: 9 }.bank(), Some(3));
+        assert_eq!(
+            DramCommand::Read {
+                bank: 1,
+                auto_precharge: false
+            }
+            .bank(),
+            Some(1)
+        );
+        assert_eq!(DramCommand::Precharge { bank: 7 }.bank(), Some(7));
+        assert_eq!(DramCommand::Refresh.bank(), None);
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(DramCommand::Read {
+            bank: 0,
+            auto_precharge: true
+        }
+        .is_column());
+        assert!(DramCommand::Write {
+            bank: 0,
+            auto_precharge: false
+        }
+        .is_column());
+        assert!(!DramCommand::Activate { bank: 0, row: 0 }.is_column());
+        assert!(!DramCommand::Refresh.is_column());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DramCommand::Activate { bank: 2, row: 5 }.to_string(), "ACT b2 r5");
+        assert_eq!(
+            DramCommand::Read {
+                bank: 0,
+                auto_precharge: true
+            }
+            .to_string(),
+            "RDA b0"
+        );
+        assert_eq!(
+            DramCommand::Write {
+                bank: 1,
+                auto_precharge: false
+            }
+            .to_string(),
+            "WR b1"
+        );
+        assert_eq!(DramCommand::Refresh.to_string(), "REF");
+    }
+}

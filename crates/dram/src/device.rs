@@ -1,0 +1,432 @@
+//! The rank-level device model: banks plus shared command bus, data bus,
+//! activation-window and refresh constraints.
+
+use dg_sim::clock::{ClockRatio, Cycle};
+use dg_sim::config::{DramOrg, DramTiming};
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::command::{BankId, DramCommand};
+use crate::timing::CpuTiming;
+
+/// Last column operation type, for bus turnaround accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum LastCol {
+    None,
+    Read { data_end: Cycle },
+    Write { data_end: Cycle },
+}
+
+/// A single-channel, single-rank DRAM device.
+///
+/// The device answers two questions for the memory-controller scheduler:
+/// [`earliest`](Self::earliest) — "when could this command legally issue?"
+/// — and [`issue`](Self::issue) — "apply it". Column commands return the
+/// cycle at which the last data beat leaves the device, which the controller
+/// uses as the transaction completion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramDevice {
+    timing: CpuTiming,
+    banks: Vec<Bank>,
+    /// Earliest cycle the shared command bus is free.
+    next_cmd: Cycle,
+    /// Earliest cycle an ACT to *any* bank is allowed (tRRD).
+    next_act_any: Cycle,
+    /// Issue times of the four most recent ACTs (tFAW window).
+    recent_acts: [Cycle; 4],
+    recent_act_idx: usize,
+    n_recent_acts: usize,
+    last_col: LastCol,
+    /// Earliest column command as constrained by tCCD on the channel.
+    next_col_any: Cycle,
+    /// Next refresh deadline.
+    refresh_due: Cycle,
+    /// Cycle the in-progress refresh completes (0 when none).
+    refresh_until: Cycle,
+    /// Count of issued refreshes (statistics).
+    refreshes: u64,
+}
+
+impl DramDevice {
+    /// Builds a device from the Table 2 organization/timing, converting all
+    /// parameters into CPU cycles with `ratio`.
+    pub fn new(org: DramOrg, timing: DramTiming, ratio: ClockRatio) -> Self {
+        let t = CpuTiming::from_dram(timing, ratio);
+        Self {
+            banks: vec![Bank::new(); org.banks as usize],
+            next_cmd: 0,
+            next_act_any: 0,
+            recent_acts: [0; 4],
+            recent_act_idx: 0,
+            n_recent_acts: 0,
+            last_col: LastCol::None,
+            next_col_any: 0,
+            refresh_due: t.tREFI,
+            refresh_until: 0,
+            refreshes: 0,
+            timing: t,
+        }
+    }
+
+    /// The converted timing parameters in CPU cycles.
+    pub fn timing(&self) -> &CpuTiming {
+        &self.timing
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> u32 {
+        self.banks.len() as u32
+    }
+
+    /// Read-only view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank(&self, bank: BankId) -> &Bank {
+        &self.banks[bank as usize]
+    }
+
+    /// True when a refresh should be scheduled at or before `now`.
+    pub fn refresh_due(&self, now: Cycle) -> bool {
+        now >= self.refresh_due
+    }
+
+    /// Number of refreshes performed so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Returns true when every bank is precharged (required before REF).
+    pub fn all_banks_idle(&self) -> bool {
+        self.banks.iter().all(|b| b.open_row().is_none())
+    }
+
+    /// Earliest cycle ≥ `now` at which `cmd` may legally issue.
+    ///
+    /// The result is aligned to a DRAM command-bus edge.
+    pub fn earliest(&self, cmd: DramCommand, now: Cycle) -> Cycle {
+        let mut t = now.max(self.next_cmd).max(self.refresh_until);
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                t = t
+                    .max(self.banks[bank as usize].earliest_activate())
+                    .max(self.next_act_any)
+                    .max(self.faw_horizon());
+            }
+            DramCommand::Read { bank, .. } => {
+                t = t
+                    .max(self.banks[bank as usize].earliest_column())
+                    .max(self.next_col_any)
+                    .max(self.read_turnaround());
+            }
+            DramCommand::Write { bank, .. } => {
+                t = t
+                    .max(self.banks[bank as usize].earliest_column())
+                    .max(self.next_col_any)
+                    .max(self.write_turnaround());
+            }
+            DramCommand::Precharge { bank } => {
+                t = t.max(self.banks[bank as usize].earliest_precharge());
+            }
+            DramCommand::Refresh => {
+                let all_pre = self
+                    .banks
+                    .iter()
+                    .map(|b| b.earliest_activate())
+                    .max()
+                    .unwrap_or(0);
+                // REF may issue once every bank could accept an ACT, i.e. all
+                // precharges have completed.
+                t = t.max(all_pre);
+            }
+        }
+        t.next_multiple_of(self.timing.cmd_cycle)
+    }
+
+    /// Earliest ACT as constrained by the four-activate window.
+    fn faw_horizon(&self) -> Cycle {
+        if self.n_recent_acts < 4 {
+            0
+        } else {
+            // The oldest of the last four ACTs.
+            self.recent_acts[self.recent_act_idx] + self.timing.tFAW
+        }
+    }
+
+    /// Earliest RD command as constrained by the previous column operation.
+    fn read_turnaround(&self) -> Cycle {
+        match self.last_col {
+            LastCol::None => 0,
+            // Consecutive reads: the new burst must not overlap the old one.
+            LastCol::Read { data_end } => data_end.saturating_sub(self.timing.tCAS),
+            // Write-to-read: tWTR after the last write data beat.
+            LastCol::Write { data_end } => data_end + self.timing.tWTR,
+        }
+    }
+
+    /// Earliest WR command as constrained by the previous column operation.
+    fn write_turnaround(&self) -> Cycle {
+        match self.last_col {
+            LastCol::None => 0,
+            // Read-to-write: bus turnaround pad after the read burst.
+            LastCol::Read { data_end } => {
+                (data_end + self.timing.tRTRS).saturating_sub(self.timing.tCWD)
+            }
+            LastCol::Write { data_end } => data_end.saturating_sub(self.timing.tCWD),
+        }
+    }
+
+    /// Issues `cmd` at cycle `t`, advancing device state.
+    ///
+    /// Returns the data completion time for column commands (`RD`: last read
+    /// beat leaves the device; `WR`: last write beat accepted), `None`
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than [`earliest`](Self::earliest) allows —
+    /// schedulers must only issue legal commands.
+    pub fn issue(&mut self, cmd: DramCommand, t: Cycle) -> Option<Cycle> {
+        assert!(t >= self.earliest(cmd, 0), "illegal issue of {cmd} at {t}");
+        assert!(
+            t.is_multiple_of(self.timing.cmd_cycle),
+            "command at {t} not on a DRAM bus edge"
+        );
+        self.next_cmd = t + self.timing.cmd_cycle;
+        match cmd {
+            DramCommand::Activate { bank, row } => {
+                self.banks[bank as usize].activate(t, row, &self.timing);
+                self.next_act_any = t + self.timing.tRRD;
+                self.recent_acts[self.recent_act_idx] = t;
+                self.recent_act_idx = (self.recent_act_idx + 1) % 4;
+                self.n_recent_acts = (self.n_recent_acts + 1).min(4);
+                None
+            }
+            DramCommand::Read {
+                bank,
+                auto_precharge,
+            } => {
+                self.banks[bank as usize].read(t, auto_precharge, &self.timing);
+                let data_end = t + self.timing.tCAS + self.timing.tBURST;
+                self.last_col = LastCol::Read { data_end };
+                self.next_col_any = t + self.timing.tCCD;
+                Some(data_end)
+            }
+            DramCommand::Write {
+                bank,
+                auto_precharge,
+            } => {
+                self.banks[bank as usize].write(t, auto_precharge, &self.timing);
+                let data_end = t + self.timing.tCWD + self.timing.tBURST;
+                self.last_col = LastCol::Write { data_end };
+                self.next_col_any = t + self.timing.tCCD;
+                Some(data_end)
+            }
+            DramCommand::Precharge { bank } => {
+                self.banks[bank as usize].precharge(t, &self.timing);
+                None
+            }
+            DramCommand::Refresh => {
+                let done = t + self.timing.tRFC;
+                for b in &mut self.banks {
+                    b.refresh_until(done);
+                }
+                self.refresh_until = done;
+                self.refresh_due += self.timing.tREFI;
+                self.refreshes += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::config::{DramOrg, DramTiming};
+
+    fn device() -> DramDevice {
+        DramDevice::new(DramOrg::default(), DramTiming::default(), ClockRatio::new(1))
+    }
+
+    fn act(bank: BankId, row: u64) -> DramCommand {
+        DramCommand::Activate { bank, row }
+    }
+
+    fn rd(bank: BankId) -> DramCommand {
+        DramCommand::Read {
+            bank,
+            auto_precharge: false,
+        }
+    }
+
+    fn rda(bank: BankId) -> DramCommand {
+        DramCommand::Read {
+            bank,
+            auto_precharge: true,
+        }
+    }
+
+    fn wr(bank: BankId) -> DramCommand {
+        DramCommand::Write {
+            bank,
+            auto_precharge: false,
+        }
+    }
+
+    #[test]
+    fn basic_read_sequence() {
+        let mut d = device();
+        let t0 = d.earliest(act(0, 5), 0);
+        assert_eq!(t0, 0);
+        d.issue(act(0, 5), t0);
+        let t1 = d.earliest(rd(0), t0);
+        assert_eq!(t1, t0 + d.timing().tRCD);
+        let done = d.issue(rd(0), t1).unwrap();
+        assert_eq!(done, t1 + d.timing().tCAS + d.timing().tBURST);
+    }
+
+    #[test]
+    fn command_bus_serializes_commands() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        // ACT to another bank is limited by tRRD (5 > 1 command cycle).
+        let t = d.earliest(act(1, 1), 0);
+        assert_eq!(t, d.timing().tRRD);
+    }
+
+    #[test]
+    fn trrd_spaces_activates() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        assert_eq!(d.earliest(act(1, 0), 0), d.timing().tRRD);
+    }
+
+    #[test]
+    fn tfaw_limits_burst_of_activates() {
+        let mut d = device();
+        let t = d.timing().clone();
+        let mut at = 0;
+        for b in 0..4 {
+            at = d.earliest(act(b, 0), at);
+            d.issue(act(b, 0), at);
+        }
+        // Fifth ACT must wait for the FAW window from the first ACT.
+        let fifth = d.earliest(act(4, 0), at);
+        assert!(
+            fifth >= t.tFAW,
+            "fifth ACT at {fifth}, expected >= tFAW {}",
+            t.tFAW
+        );
+    }
+
+    #[test]
+    fn consecutive_reads_gated_by_burst() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        d.issue(act(1, 1), d.earliest(act(1, 1), 0));
+        let t_rd0 = d.earliest(rd(0), 0);
+        let end0 = d.issue(rd(0), t_rd0).unwrap();
+        let t_rd1 = d.earliest(rd(1), t_rd0);
+        // Second read's data must start after the first burst ends.
+        assert!(t_rd1 + d.timing().tCAS >= end0);
+        // And at least tCCD after the first RD command.
+        assert!(t_rd1 >= t_rd0 + d.timing().tCCD);
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        d.issue(act(1, 1), d.earliest(act(1, 1), 0));
+        let t_wr = d.earliest(wr(0), 0);
+        let wr_end = d.issue(wr(0), t_wr).unwrap();
+        let t_rd = d.earliest(rd(1), t_wr);
+        assert!(
+            t_rd >= wr_end + d.timing().tWTR,
+            "read at {t_rd}, write data end {wr_end}"
+        );
+    }
+
+    #[test]
+    fn read_to_write_turnaround() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        d.issue(act(1, 1), d.earliest(act(1, 1), 0));
+        let t_rd = d.earliest(rd(0), 0);
+        let rd_end = d.issue(rd(0), t_rd).unwrap();
+        let t_wr = d.earliest(wr(1), t_rd);
+        assert!(t_wr + d.timing().tCWD >= rd_end + d.timing().tRTRS);
+    }
+
+    #[test]
+    fn auto_precharge_enables_reactivation() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        let t_rd = d.earliest(rda(0), 0);
+        d.issue(rda(0), t_rd);
+        assert!(d.bank(0).open_row().is_none());
+        let t_act = d.earliest(act(0, 2), t_rd);
+        // Re-activation respects tRC and the auto-precharge + tRP.
+        assert!(t_act >= d.timing().tRC.min(d.timing().tRAS + d.timing().tRP));
+        d.issue(act(0, 2), t_act);
+    }
+
+    #[test]
+    fn refresh_blocks_everything() {
+        let mut d = device();
+        assert!(!d.refresh_due(0));
+        let due = d.timing().tREFI;
+        assert!(d.refresh_due(due));
+        let t = d.earliest(DramCommand::Refresh, due);
+        d.issue(DramCommand::Refresh, t);
+        assert_eq!(d.refreshes(), 1);
+        let act_t = d.earliest(act(0, 1), t);
+        assert!(act_t >= t + d.timing().tRFC);
+        assert!(!d.refresh_due(t));
+    }
+
+    #[test]
+    fn refresh_waits_for_open_banks() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        // REF cannot issue while bank 0's row is open; earliest is pushed to
+        // when the precharge could have completed.
+        let t_ref = d.earliest(DramCommand::Refresh, 0);
+        assert!(t_ref >= d.timing().tRAS);
+    }
+
+    #[test]
+    fn earliest_is_idempotent_and_aligned() {
+        let d = device();
+        for now in 0..10 {
+            let t = d.earliest(act(0, 0), now);
+            assert_eq!(t % d.timing().cmd_cycle, 0);
+            assert!(t >= now);
+        }
+    }
+
+    #[test]
+    fn clock_ratio_three_aligns_to_edges() {
+        let mut d = DramDevice::new(
+            DramOrg::default(),
+            DramTiming::default(),
+            ClockRatio::new(3),
+        );
+        let t = d.earliest(act(0, 0), 1);
+        assert_eq!(t % 3, 0);
+        d.issue(act(0, 0), t);
+        let t_rd = d.earliest(rd(0), t);
+        assert_eq!(t_rd % 3, 0);
+        assert!(t_rd >= t + d.timing().tRCD);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal issue")]
+    fn premature_issue_panics() {
+        let mut d = device();
+        d.issue(act(0, 1), 0);
+        d.issue(rd(0), 0); // before tRCD
+    }
+}

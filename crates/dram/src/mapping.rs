@@ -1,0 +1,203 @@
+//! Physical address to (bank, row, column) mapping.
+//!
+//! The mapping determines which requests contend in the same bank — the
+//! property the Figure 1 attacks exploit. Two schemes are provided:
+//!
+//! * [`MapScheme::RowBankCol`] — bank bits are taken from just above the
+//!   column bits, so consecutive cache lines *within a row-sized region*
+//!   stay in one bank, and region-sized strides switch banks.
+//! * [`MapScheme::BankInterleaved`] — bank bits are taken from just above
+//!   the line offset, so consecutive cache lines round-robin across banks
+//!   (the usual high-parallelism default; used by our baseline).
+
+use dg_sim::types::Addr;
+use serde::{Deserialize, Serialize};
+
+use crate::command::{BankId, RowId};
+
+/// Decoded physical location of a cache-line request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysLoc {
+    /// Target bank.
+    pub bank: BankId,
+    /// Target row within the bank.
+    pub row: RowId,
+    /// Column (line index within the row).
+    pub col: u64,
+}
+
+/// Address interleaving scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MapScheme {
+    /// row : bank : column : line-offset (row-region granularity banking).
+    RowBankCol,
+    /// row : column : bank : line-offset (cache-line granularity banking).
+    #[default]
+    BankInterleaved,
+}
+
+/// Maps physical addresses to DRAM coordinates.
+///
+/// # Example
+///
+/// ```
+/// use dg_dram::mapping::{AddressMapper, MapScheme};
+///
+/// let m = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+/// let a = m.decode(0x0);
+/// let b = m.decode(0x40);
+/// assert_ne!(a.bank, b.bank); // consecutive lines interleave across banks
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapper {
+    scheme: MapScheme,
+    banks: u32,
+    row_bytes: u64,
+    line_bytes: u64,
+}
+
+impl AddressMapper {
+    /// Creates a mapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks`, `row_bytes` and `line_bytes` are powers of two
+    /// and a row holds at least one line.
+    pub fn new(scheme: MapScheme, banks: u32, row_bytes: u64, line_bytes: u64) -> Self {
+        assert!(banks.is_power_of_two(), "banks must be a power of two");
+        assert!(row_bytes.is_power_of_two(), "row_bytes must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line_bytes must be a power of two");
+        assert!(row_bytes >= line_bytes, "row must hold at least one line");
+        Self {
+            scheme,
+            banks,
+            row_bytes,
+            line_bytes,
+        }
+    }
+
+    /// Number of banks this mapper distributes across.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Lines per row.
+    pub fn cols_per_row(&self) -> u64 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Decodes a physical address into DRAM coordinates.
+    pub fn decode(&self, addr: Addr) -> PhysLoc {
+        let line = addr / self.line_bytes;
+        let banks = u64::from(self.banks);
+        let cols = self.cols_per_row();
+        match self.scheme {
+            MapScheme::BankInterleaved => {
+                let bank = (line % banks) as BankId;
+                let rest = line / banks;
+                PhysLoc {
+                    bank,
+                    row: rest / cols,
+                    col: rest % cols,
+                }
+            }
+            MapScheme::RowBankCol => {
+                let col = line % cols;
+                let rest = line / cols;
+                let bank = (rest % banks) as BankId;
+                PhysLoc {
+                    bank,
+                    row: rest / banks,
+                    col,
+                }
+            }
+        }
+    }
+
+    /// Builds an address that decodes to the given coordinates — the inverse
+    /// of [`decode`](Self::decode). Used by attackers and fake-request
+    /// generators that need to hit a prescribed bank (§4.4: "the fake
+    /// request accesses a random address in the targeted bank").
+    pub fn encode(&self, loc: PhysLoc) -> Addr {
+        let banks = u64::from(self.banks);
+        let cols = self.cols_per_row();
+        let line = match self.scheme {
+            MapScheme::BankInterleaved => (loc.row * cols + loc.col) * banks + u64::from(loc.bank),
+            MapScheme::RowBankCol => (loc.row * banks + u64::from(loc.bank)) * cols + loc.col,
+        };
+        line * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper(scheme: MapScheme) -> AddressMapper {
+        AddressMapper::new(scheme, 8, 8192, 64)
+    }
+
+    #[test]
+    fn interleaved_spreads_consecutive_lines() {
+        let m = mapper(MapScheme::BankInterleaved);
+        let banks: Vec<u32> = (0..8).map(|i| m.decode(i * 64).bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Same bank returns after `banks` lines, next column.
+        let a = m.decode(0);
+        let b = m.decode(8 * 64);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn row_bank_col_keeps_row_region_in_bank() {
+        let m = mapper(MapScheme::RowBankCol);
+        // All lines within one row-sized region share a bank and row.
+        let first = m.decode(0);
+        for i in 0..m.cols_per_row() {
+            let loc = m.decode(i * 64);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.row, first.row);
+            assert_eq!(loc.col, i);
+        }
+        // The next region moves to the next bank.
+        let next = m.decode(8192);
+        assert_eq!(next.bank, first.bank + 1);
+    }
+
+    #[test]
+    fn encode_inverts_decode() {
+        for scheme in [MapScheme::BankInterleaved, MapScheme::RowBankCol] {
+            let m = mapper(scheme);
+            for addr in (0..1_000_000u64).step_by(64 * 37) {
+                let loc = m.decode(addr);
+                assert_eq!(m.encode(loc), addr, "scheme {scheme:?} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let m = mapper(MapScheme::BankInterleaved);
+        for bank in 0..8 {
+            for row in [0u64, 1, 17, 1023] {
+                for col in [0u64, 1, 127] {
+                    let loc = PhysLoc { bank, row, col };
+                    assert_eq!(m.decode(m.encode(loc)), loc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_banks_rejected() {
+        AddressMapper::new(MapScheme::BankInterleaved, 6, 8192, 64);
+    }
+
+    #[test]
+    fn line_offset_ignored() {
+        let m = mapper(MapScheme::BankInterleaved);
+        assert_eq!(m.decode(0x40), m.decode(0x7F));
+    }
+}

@@ -1,0 +1,539 @@
+//! The memory controller proper: transaction queue + command scheduler.
+
+use std::collections::VecDeque;
+
+use dg_dram::{AddressMapper, DramCommand, DramDevice, MapScheme, PhysLoc};
+use dg_sim::clock::Cycle;
+use dg_sim::config::{RowPolicy, SystemConfig};
+use dg_sim::types::{MemRequest, MemResponse};
+use serde::{Deserialize, Serialize};
+
+use crate::front::MemorySubsystem;
+use crate::stats::MemStats;
+
+/// DRAM command scheduling policy (§2.1: "command scheduling can vary in
+/// complexity, ranging from a basic First Come First Served (FCFS) policy,
+/// to policies that optimize for row-buffer hits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Strictly serve the oldest transaction; no reordering.
+    Fcfs,
+    /// First-Ready FCFS: row hits first, then oldest.
+    FrFcfs,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    /// Waiting for its column access (may still need ACT/PRE first).
+    Pending,
+    /// Column command issued; data completes at `done`.
+    Issued { done: Cycle },
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    req: MemRequest,
+    loc: PhysLoc,
+    arrived: Cycle,
+    state: TxnState,
+}
+
+/// The shared memory controller: a global transaction queue feeding a
+/// command scheduler that drives the DRAM device.
+///
+/// One DRAM command may issue per command-bus edge. Refresh takes priority
+/// when due: open banks are drained and precharged, then a rank-wide REF is
+/// issued.
+#[derive(Debug)]
+pub struct MemoryController {
+    device: DramDevice,
+    mapper: AddressMapper,
+    row_policy: RowPolicy,
+    policy: SchedPolicy,
+    txq: VecDeque<Txn>,
+    capacity: usize,
+    stats: MemStats,
+    refresh_pending: bool,
+}
+
+impl MemoryController {
+    /// Builds a controller for the given system configuration.
+    pub fn new(cfg: &SystemConfig, policy: SchedPolicy) -> Self {
+        let device = DramDevice::new(cfg.dram_org, cfg.timing, cfg.clock_ratio);
+        let mapper = AddressMapper::new(
+            MapScheme::BankInterleaved,
+            cfg.dram_org.banks,
+            cfg.dram_org.row_bytes,
+            cfg.dram_org.line_bytes,
+        );
+        // Reserve a couple of extra stats slots for shaper-internal domains.
+        let stats = MemStats::new(cfg.cores + 2, cfg.dram_org.line_bytes);
+        Self {
+            device,
+            mapper,
+            row_policy: cfg.row_policy,
+            policy,
+            txq: VecDeque::with_capacity(cfg.queues.transaction_queue),
+            capacity: cfg.queues.transaction_queue,
+            stats,
+            refresh_pending: false,
+        }
+    }
+
+    /// The address mapper in use (attackers and shapers need it to target
+    /// specific banks).
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Free entries in the transaction queue.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.txq.len()
+    }
+
+    /// Current transaction queue occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.txq.len()
+    }
+
+    /// The row-buffer policy this controller runs.
+    pub fn row_policy(&self) -> RowPolicy {
+        self.row_policy
+    }
+
+    fn auto_precharge(&self) -> bool {
+        self.row_policy == RowPolicy::Closed
+    }
+
+    /// Attempts to issue one DRAM command at `now` (must be a bus edge).
+    fn schedule(&mut self, now: Cycle) {
+        // Refresh has priority: drain open banks, then REF.
+        if self.device.refresh_due(now) {
+            self.refresh_pending = true;
+        }
+        if self.refresh_pending && self.try_refresh(now) {
+            return;
+        }
+
+        match self.policy {
+            SchedPolicy::Fcfs => self.schedule_fcfs(now),
+            SchedPolicy::FrFcfs => self.schedule_frfcfs(now),
+        }
+    }
+
+    /// Returns true if a refresh-related command was issued (or refresh
+    /// still blocks normal scheduling this edge).
+    fn try_refresh(&mut self, now: Cycle) -> bool {
+        // Precharge any open bank whose precharge is legal.
+        for b in 0..self.device.bank_count() {
+            if self.device.bank(b).open_row().is_some() {
+                let cmd = DramCommand::Precharge { bank: b };
+                if self.device.earliest(cmd, now) == now {
+                    self.device.issue(cmd, now);
+                    return true;
+                }
+            }
+        }
+        if !self.device.all_banks_idle() {
+            // Waiting for in-progress accesses / precharges to become legal;
+            // block column/act scheduling so we make forward progress.
+            return true;
+        }
+        let cmd = DramCommand::Refresh;
+        if self.device.earliest(cmd, now) == now {
+            self.device.issue(cmd, now);
+            self.refresh_pending = false;
+            self.stats.refreshes = self.device.refreshes();
+            self.stats.energy.record_refresh();
+            return true;
+        }
+        true
+    }
+
+    fn column_cmd(&self, txn: &Txn) -> DramCommand {
+        let auto_precharge = self.auto_precharge();
+        if txn.req.req_type.is_write() {
+            DramCommand::Write {
+                bank: txn.loc.bank,
+                auto_precharge,
+            }
+        } else {
+            DramCommand::Read {
+                bank: txn.loc.bank,
+                auto_precharge,
+            }
+        }
+    }
+
+    fn issue_column(&mut self, idx: usize, now: Cycle) {
+        let cmd = self.column_cmd(&self.txq[idx]);
+        let done = self.device.issue(cmd, now).expect("column returns data time");
+        self.txq[idx].state = TxnState::Issued { done };
+    }
+
+    fn schedule_fcfs(&mut self, now: Cycle) {
+        // Serve only the oldest pending transaction.
+        let Some(idx) = self
+            .txq
+            .iter()
+            .position(|t| matches!(t.state, TxnState::Pending))
+        else {
+            return;
+        };
+        let loc = self.txq[idx].loc;
+        match self.device.bank(loc.bank).open_row() {
+            Some(row) if row == loc.row => {
+                let cmd = self.column_cmd(&self.txq[idx]);
+                if self.device.earliest(cmd, now) == now {
+                    self.issue_column(idx, now);
+                }
+            }
+            Some(_) => {
+                let cmd = DramCommand::Precharge { bank: loc.bank };
+                if self.device.earliest(cmd, now) == now {
+                    self.device.issue(cmd, now);
+                }
+            }
+            None => {
+                let cmd = DramCommand::Activate {
+                    bank: loc.bank,
+                    row: loc.row,
+                };
+                if self.device.earliest(cmd, now) == now {
+                    self.device.issue(cmd, now);
+                }
+            }
+        }
+    }
+
+    fn schedule_frfcfs(&mut self, now: Cycle) {
+        // 1. Oldest row-hit column access that is legal right now.
+        let hit = self.txq.iter().position(|t| {
+            matches!(t.state, TxnState::Pending)
+                && self.device.bank(t.loc.bank).open_row() == Some(t.loc.row)
+                && self.device.earliest(self.column_cmd(t), now) == now
+        });
+        if let Some(idx) = hit {
+            self.issue_column(idx, now);
+            return;
+        }
+
+        // 2. Oldest transaction whose bank is idle: activate its row.
+        //    Skip banks that already have an older same-bank transaction in
+        //    front (FCFS within a bank).
+        let mut seen_banks = 0u64;
+        for i in 0..self.txq.len() {
+            let t = &self.txq[i];
+            if !matches!(t.state, TxnState::Pending) {
+                continue;
+            }
+            let bank_bit = 1u64 << t.loc.bank;
+            if seen_banks & bank_bit != 0 {
+                continue;
+            }
+            seen_banks |= bank_bit;
+            if self.device.bank(t.loc.bank).open_row().is_none() {
+                let cmd = DramCommand::Activate {
+                    bank: t.loc.bank,
+                    row: t.loc.row,
+                };
+                if self.device.earliest(cmd, now) == now {
+                    self.device.issue(cmd, now);
+                    return;
+                }
+            }
+        }
+
+        // 3. Row conflict: precharge the bank of the oldest conflicting
+        //    transaction, provided no pending transaction still hits the
+        //    open row (serve hits before closing).
+        if self.row_policy == RowPolicy::Open {
+            let conflict = self.txq.iter().position(|t| {
+                matches!(t.state, TxnState::Pending)
+                    && matches!(self.device.bank(t.loc.bank).open_row(), Some(r) if r != t.loc.row)
+            });
+            if let Some(idx) = conflict {
+                let bank = self.txq[idx].loc.bank;
+                let open = self.device.bank(bank).open_row();
+                let hit_waiting = self.txq.iter().any(|t| {
+                    matches!(t.state, TxnState::Pending)
+                        && t.loc.bank == bank
+                        && Some(t.loc.row) == open
+                });
+                if !hit_waiting {
+                    let cmd = DramCommand::Precharge { bank };
+                    if self.device.earliest(cmd, now) == now {
+                        self.device.issue(cmd, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.txq.len() {
+            if let TxnState::Issued { done: d } = self.txq[i].state {
+                if d <= now {
+                    let txn = self.txq.remove(i).expect("index in range");
+                    let resp = MemResponse {
+                        id: txn.req.id,
+                        domain: txn.req.domain,
+                        addr: txn.req.addr,
+                        req_type: txn.req.req_type,
+                        kind: txn.req.kind,
+                        arrived_at: txn.arrived,
+                        completed_at: d,
+                    };
+                    self.stats.record(&resp);
+                    done.push(resp);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        done
+    }
+}
+
+impl MemorySubsystem for MemoryController {
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        if self.txq.len() >= self.capacity {
+            return Err(req);
+        }
+        let loc = self.mapper.decode(req.addr);
+        self.txq.push_back(Txn {
+            req,
+            loc,
+            arrived: now,
+            state: TxnState::Pending,
+        });
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let responses = self.collect(now);
+        if now.is_multiple_of(self.device.timing().cmd_cycle) {
+            self.schedule(now);
+        }
+        responses
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn free_slots(&self) -> usize {
+        self.free_space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::types::{DomainId, ReqId};
+
+    fn cfg() -> SystemConfig {
+        let mut c = SystemConfig::two_core();
+        // Unit ratio keeps latencies equal to Table 2 DRAM-cycle numbers.
+        c.clock_ratio = dg_sim::clock::ClockRatio::new(1);
+        c
+    }
+
+    fn run_until_done(mc: &mut MemoryController, budget: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        for now in 0..budget {
+            out.extend(mc.tick(now));
+            if mc.occupancy() == 0 && !out.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    fn read_at(mc: &mut MemoryController, addr: u64, id: u64, now: Cycle) {
+        let req = MemRequest::read(DomainId(0), addr, now).with_id(ReqId(id));
+        mc.try_send(req, now).unwrap();
+    }
+
+    #[test]
+    fn single_read_latency_closed_row() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        read_at(&mut mc, 0x40, 1, 0);
+        let done = run_until_done(&mut mc, 10_000);
+        assert_eq!(done.len(), 1);
+        let t = DramDevice::new(c.dram_org, c.timing, c.clock_ratio);
+        // ACT at 0, RD at tRCD, data at tRCD + tCAS + tBURST.
+        assert_eq!(done[0].latency(), t.timing().closed_row_read_latency());
+    }
+
+    #[test]
+    fn open_row_hit_is_faster_than_first_access() {
+        let c = cfg(); // open-row
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        // Two reads to the same row: second should be a row hit.
+        read_at(&mut mc, 0x0, 1, 0);
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.is_empty() {
+            out.extend(mc.tick(now));
+            now += 1;
+        }
+        let first_latency = out[0].latency();
+        read_at(&mut mc, 0x0, 2, now);
+        let mut out2 = Vec::new();
+        let start = now;
+        while out2.is_empty() {
+            out2.extend(mc.tick(now));
+            now += 1;
+        }
+        let hit_latency = out2[0].completed_at - start;
+        assert!(
+            hit_latency < first_latency,
+            "hit {hit_latency} vs miss {first_latency}"
+        );
+    }
+
+    #[test]
+    fn row_conflict_is_slower_than_hit() {
+        let c = cfg();
+        let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        // Open row 0 of bank 0.
+        let a0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+        read_at(&mut mc, a0, 1, 0);
+        let mut now = 0;
+        let mut out = Vec::new();
+        while out.is_empty() {
+            out.extend(mc.tick(now));
+            now += 1;
+        }
+        // Conflict: same bank, different row.
+        let a1 = mapper.encode(PhysLoc { bank: 0, row: 9, col: 0 });
+        read_at(&mut mc, a1, 2, now);
+        let start = now;
+        let mut out2 = Vec::new();
+        while out2.is_empty() {
+            out2.extend(mc.tick(now));
+            now += 1;
+        }
+        let conflict_latency = out2[0].completed_at - start;
+        let t = mc.device.timing();
+        assert!(conflict_latency >= t.tRP + t.tRCD + t.tCAS);
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps_requests() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+
+        // Two requests to different banks complete much faster than two to
+        // the same bank.
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        let b0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+        let b1 = mapper.encode(PhysLoc { bank: 1, row: 0, col: 0 });
+        read_at(&mut mc, b0, 1, 0);
+        read_at(&mut mc, b1, 2, 0);
+        let done = run_until_done(&mut mc, 10_000);
+        let parallel_finish = done.iter().map(|r| r.completed_at).max().unwrap();
+
+        let mut mc2 = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        let same0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+        let same1 = mapper.encode(PhysLoc { bank: 0, row: 1, col: 0 });
+        read_at(&mut mc2, same0, 1, 0);
+        read_at(&mut mc2, same1, 2, 0);
+        let done2 = run_until_done(&mut mc2, 10_000);
+        let serial_finish = done2.iter().map(|r| r.completed_at).max().unwrap();
+
+        assert!(
+            parallel_finish < serial_finish,
+            "parallel {parallel_finish} vs serial {serial_finish}"
+        );
+    }
+
+    #[test]
+    fn fcfs_does_not_reorder() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+        let mut mc = MemoryController::new(&c, SchedPolicy::Fcfs);
+        // Same bank twice then different bank: FCFS must finish them in order.
+        let a = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+        let b = mapper.encode(PhysLoc { bank: 0, row: 1, col: 0 });
+        let e = mapper.encode(PhysLoc { bank: 3, row: 0, col: 0 });
+        read_at(&mut mc, a, 1, 0);
+        read_at(&mut mc, b, 2, 0);
+        read_at(&mut mc, e, 3, 0);
+        let mut done = Vec::new();
+        for now in 0..100_000 {
+            done.extend(mc.tick(now));
+            if done.len() == 3 {
+                break;
+            }
+        }
+        let order: Vec<u64> = done.iter().map(|r| r.id.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let c = cfg();
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        for i in 0..c.queues.transaction_queue {
+            read_at(&mut mc, (i as u64) * 64, i as u64, 0);
+        }
+        let req = MemRequest::read(DomainId(0), 0x9999, 0).with_id(ReqId(99));
+        assert!(mc.try_send(req, 0).is_err());
+        assert_eq!(mc.free_space(), 0);
+    }
+
+    #[test]
+    fn refresh_eventually_happens() {
+        let c = cfg();
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        let refi = mc.device.timing().tREFI;
+        for now in 0..refi + 1000 {
+            mc.tick(now);
+        }
+        assert!(mc.device.refreshes() >= 1);
+    }
+
+    #[test]
+    fn refresh_under_load_preserves_all_requests() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        let horizon = mc.device.timing().tREFI * 3;
+        for now in 0..horizon {
+            if now % 50 == 0 && mc.free_space() > 0 {
+                read_at(&mut mc, (sent % 4096) * 64, sent, now);
+                sent += 1;
+            }
+            done += mc.tick(now).len() as u64;
+        }
+        // Drain.
+        for now in horizon..horizon + 10_000 {
+            done += mc.tick(now).len() as u64;
+        }
+        assert!(mc.device.refreshes() >= 2, "refreshes ran under load");
+        assert_eq!(sent, done, "no transaction lost across refresh");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        read_at(&mut mc, 0x40, 1, 0);
+        let w = MemRequest::write(DomainId(1), 0x80, 0).with_id(ReqId(2));
+        mc.try_send(w, 0).unwrap();
+        run_until_done(&mut mc, 10_000);
+        assert_eq!(mc.stats().domain(DomainId(0)).reads, 1);
+        assert_eq!(mc.stats().domain(DomainId(1)).writes, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Front-end interfaces: the [`MemorySubsystem`] facade cores talk to, the
+//! per-domain [`DomainShaper`] plug-in point (Figure 3), and the
+//! [`ShapedMemory`] assembly that routes traffic through shapers.
+
+use std::collections::VecDeque;
+
+use dg_sim::clock::Cycle;
+use dg_sim::types::{DomainId, MemRequest, MemResponse};
+
+use crate::stats::MemStats;
+
+/// The facade between cores/caches and whatever memory path the experiment
+/// configures (insecure controller, shaped controller, Fixed Service, …).
+pub trait MemorySubsystem: Send {
+    /// Offers a request. On back-pressure the request is handed back and the
+    /// caller must retry later.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the accepting queue is full.
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
+
+    /// Advances one CPU cycle; returns responses that complete this cycle
+    /// and are visible to cores (fake responses are filtered out by the
+    /// shaping layers).
+    fn tick(&mut self, now: Cycle) -> Vec<MemResponse>;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> &MemStats;
+
+    /// Mutable statistics access (used to finalize measurement windows).
+    fn stats_mut(&mut self) -> &mut MemStats;
+
+    /// Free request slots at the acceptance boundary (for flow control).
+    fn free_slots(&self) -> usize;
+}
+
+/// A per-security-domain request shaper: the proxy agent of §4 that sits
+/// between the LLC and the memory controller's transaction queue.
+///
+/// `dagguise::Shaper` and `dg_defenses::CamouflageShaper` implement this;
+/// unprotected domains use [`PassThrough`].
+pub trait DomainShaper: Send {
+    /// The security domain this shaper serves.
+    fn domain(&self) -> DomainId;
+
+    /// Offers a core request to the shaper's private queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the private queue is full (the core must
+    /// stall — this back-pressure is invisible to other domains).
+    fn try_accept(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
+
+    /// Advances one CPU cycle. May emit at most `space` requests toward the
+    /// global transaction queue.
+    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest>;
+
+    /// Observes a completed transaction belonging to this domain. Returns
+    /// the response to forward to the core (`None` for fake requests, whose
+    /// responses the shaper consumes).
+    fn on_response(&mut self, resp: &MemResponse, now: Cycle) -> Option<MemResponse>;
+
+    /// Requests currently buffered (diagnostics / drain detection).
+    fn pending(&self) -> usize;
+}
+
+/// The trivial shaper for unprotected domains: a small FIFO that forwards
+/// requests verbatim as transaction-queue space allows.
+#[derive(Debug)]
+pub struct PassThrough {
+    domain: DomainId,
+    queue: VecDeque<MemRequest>,
+    capacity: usize,
+}
+
+impl PassThrough {
+    /// Creates a pass-through front for `domain` with an internal buffer of
+    /// `capacity` requests.
+    pub fn new(domain: DomainId, capacity: usize) -> Self {
+        Self {
+            domain,
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+}
+
+impl DomainShaper for PassThrough {
+    fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    fn try_accept(&mut self, req: MemRequest, _now: Cycle) -> Result<(), MemRequest> {
+        if self.queue.len() >= self.capacity {
+            return Err(req);
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    fn tick(&mut self, _now: Cycle, space: usize) -> Vec<MemRequest> {
+        let n = space.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    fn on_response(&mut self, resp: &MemResponse, _now: Cycle) -> Option<MemResponse> {
+        Some(*resp)
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A memory subsystem whose domains each pass through a [`DomainShaper`]
+/// before reaching the shared controller — the deployment shape of
+/// Figure 3/8.
+pub struct ShapedMemory<M: MemorySubsystem> {
+    inner: M,
+    shapers: Vec<Box<dyn DomainShaper>>,
+}
+
+impl<M: MemorySubsystem> ShapedMemory<M> {
+    /// Wraps `inner` with one shaper per domain, indexed by
+    /// [`DomainId`]`(i)`. Every domain that can send traffic must have an
+    /// entry.
+    pub fn new(inner: M, shapers: Vec<Box<dyn DomainShaper>>) -> Self {
+        for (i, s) in shapers.iter().enumerate() {
+            assert_eq!(
+                s.domain(),
+                DomainId(i as u16),
+                "shaper {i} must serve domain {i}"
+            );
+        }
+        Self { inner, shapers }
+    }
+
+    /// The wrapped subsystem (for inspection in tests/harnesses).
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Requests buffered across all shapers.
+    pub fn pending(&self) -> usize {
+        self.shapers.iter().map(|s| s.pending()).sum()
+    }
+}
+
+impl<M: MemorySubsystem> std::fmt::Debug for ShapedMemory<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShapedMemory")
+            .field("shapers", &self.shapers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        let idx = req.domain.0 as usize;
+        assert!(idx < self.shapers.len(), "no shaper for domain {}", req.domain);
+        self.shapers[idx].try_accept(req, now)
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+        // 1. Advance the controller and route completions back through the
+        //    owning shapers; only real responses escape to the cores.
+        let completions = self.inner.tick(now);
+        let mut out = Vec::with_capacity(completions.len());
+        for resp in completions {
+            let idx = resp.domain.0 as usize;
+            if idx < self.shapers.len() {
+                if let Some(r) = self.shapers[idx].on_response(&resp, now) {
+                    out.push(r);
+                }
+            } else {
+                out.push(resp);
+            }
+        }
+        // 2. Let each shaper emit into the transaction queue as space allows.
+        //    Fixed iteration order keeps the simulation deterministic.
+        for s in &mut self.shapers {
+            let space = self.inner.free_slots();
+            if space == 0 {
+                break;
+            }
+            for req in s.tick(now, space) {
+                // Shapers are told the available space, so this must fit.
+                self.inner
+                    .try_send(req, now)
+                    .expect("shaper exceeded advertised space");
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> &MemStats {
+        self.inner.stats()
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        self.inner.stats_mut()
+    }
+
+    fn free_slots(&self) -> usize {
+        // Acceptance is bounded by the shapers' private queues, not the
+        // global transaction queue; report a conservative view.
+        self.shapers
+            .iter()
+            .map(|s| s.pending())
+            .min()
+            .map_or(0, |_| usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{MemoryController, SchedPolicy};
+    use dg_sim::config::SystemConfig;
+    use dg_sim::types::{ReqId, ReqKind, ReqType};
+
+    fn mk_req(domain: u16, addr: u64, id: u64) -> MemRequest {
+        MemRequest::read(DomainId(domain), addr, 0).with_id(ReqId(id))
+    }
+
+    #[test]
+    fn pass_through_preserves_order_and_backpressure() {
+        let mut p = PassThrough::new(DomainId(0), 2);
+        p.try_accept(mk_req(0, 0x0, 1), 0).unwrap();
+        p.try_accept(mk_req(0, 0x40, 2), 0).unwrap();
+        assert!(p.try_accept(mk_req(0, 0x80, 3), 0).is_err());
+        assert_eq!(p.pending(), 2);
+        let out = p.tick(0, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, ReqId(1));
+        let out = p.tick(1, 8);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, ReqId(2));
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn pass_through_forwards_responses() {
+        let mut p = PassThrough::new(DomainId(0), 2);
+        let resp = MemResponse {
+            id: ReqId(1),
+            domain: DomainId(0),
+            addr: 0,
+            req_type: ReqType::Read,
+            kind: ReqKind::Real,
+            arrived_at: 0,
+            completed_at: 10,
+        };
+        assert_eq!(p.on_response(&resp, 10), Some(resp));
+    }
+
+    #[test]
+    fn shaped_memory_round_trips_requests() {
+        let cfg = SystemConfig::two_core();
+        let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+        let shapers: Vec<Box<dyn DomainShaper>> = vec![
+            Box::new(PassThrough::new(DomainId(0), 8)),
+            Box::new(PassThrough::new(DomainId(1), 8)),
+        ];
+        let mut mem = ShapedMemory::new(mc, shapers);
+        mem.try_send(mk_req(0, 0x40, 7), 0).unwrap();
+        mem.try_send(mk_req(1, 0x80, 9), 0).unwrap();
+        let mut got = Vec::new();
+        for now in 0..100_000 {
+            got.extend(mem.tick(now));
+            if got.len() == 2 {
+                break;
+            }
+        }
+        let mut ids: Vec<u64> = got.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must serve domain")]
+    fn misindexed_shaper_rejected() {
+        let cfg = SystemConfig::two_core();
+        let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+        let shapers: Vec<Box<dyn DomainShaper>> =
+            vec![Box::new(PassThrough::new(DomainId(1), 8))];
+        let _ = ShapedMemory::new(mc, shapers);
+    }
+}

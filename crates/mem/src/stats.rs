@@ -1,0 +1,200 @@
+//! Per-domain memory statistics.
+
+use dg_dram::power::EnergyCounter;
+use dg_sim::clock::Cycle;
+use dg_sim::stats::{BandwidthMeter, Histogram};
+use dg_sim::types::{DomainId, MemResponse};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one security domain's memory traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainStats {
+    /// Completed real read transactions.
+    pub reads: u64,
+    /// Completed real write transactions.
+    pub writes: u64,
+    /// Completed fake (shaper-fabricated) transactions.
+    pub fakes: u64,
+    /// Bandwidth consumed (real + fake; fake requests occupy the bus).
+    pub bandwidth: BandwidthMeter,
+    /// Latency histogram of real transactions (arrival → completion).
+    pub latency: Histogram,
+    /// Sum of real-transaction latencies, for mean computation.
+    pub latency_sum: Cycle,
+}
+
+impl DomainStats {
+    /// Creates zeroed statistics. Latency buckets are 10 CPU cycles wide,
+    /// covering up to 10k cycles.
+    pub fn new() -> Self {
+        Self {
+            reads: 0,
+            writes: 0,
+            fakes: 0,
+            bandwidth: BandwidthMeter::new(),
+            latency: Histogram::new(10, 1000),
+            latency_sum: 0,
+        }
+    }
+
+    /// Total completed transactions including fakes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.fakes
+    }
+
+    /// Mean latency of real transactions, or `None` when there are none.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let n = self.reads + self.writes;
+        (n > 0).then(|| self.latency_sum as f64 / n as f64)
+    }
+
+    /// Records a completed transaction.
+    pub fn record(&mut self, resp: &MemResponse, line_bytes: u64) {
+        self.bandwidth.transfer(line_bytes);
+        if resp.kind.is_fake() {
+            self.fakes += 1;
+        } else {
+            if resp.req_type.is_write() {
+                self.writes += 1;
+            } else {
+                self.reads += 1;
+            }
+            self.latency.record(resp.latency());
+            self.latency_sum += resp.latency();
+        }
+    }
+}
+
+impl Default for DomainStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Statistics for the whole memory subsystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemStats {
+    per_domain: Vec<DomainStats>,
+    /// Total DRAM refresh operations observed.
+    pub refreshes: u64,
+    /// Cycles the measurement covers (set by the owner at the end of a run).
+    pub cycles: Cycle,
+    /// DRAM energy accounting (real vs fake traffic, §4.4).
+    pub energy: EnergyCounter,
+    line_bytes: u64,
+}
+
+impl MemStats {
+    /// Creates statistics for `domains` security domains.
+    pub fn new(domains: usize, line_bytes: u64) -> Self {
+        Self {
+            per_domain: (0..domains).map(|_| DomainStats::new()).collect(),
+            refreshes: 0,
+            cycles: 0,
+            energy: EnergyCounter::new(),
+            line_bytes,
+        }
+    }
+
+    /// Records a completed transaction against its domain. Domains beyond
+    /// the configured count are ignored (defensive: shapers may use
+    /// reserved ids).
+    pub fn record(&mut self, resp: &MemResponse) {
+        self.energy
+            .record_access(resp.req_type.is_write(), resp.kind.is_fake());
+        if let Some(d) = self.per_domain.get_mut(resp.domain.0 as usize) {
+            d.record(resp, self.line_bytes);
+        }
+    }
+
+    /// Per-domain view.
+    pub fn domain(&self, d: DomainId) -> &DomainStats {
+        &self.per_domain[d.0 as usize]
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[DomainStats] {
+        &self.per_domain
+    }
+
+    /// Finalizes the measurement window so bandwidth rates are meaningful.
+    pub fn set_cycles(&mut self, cycles: Cycle) {
+        self.cycles = cycles;
+        self.energy.set_cycles(cycles);
+        for d in &mut self.per_domain {
+            d.bandwidth.set_cycles(cycles);
+        }
+    }
+
+    /// Aggregate bandwidth across all domains in bytes/cycle.
+    pub fn total_bytes_per_cycle(&self) -> f64 {
+        self.per_domain
+            .iter()
+            .map(|d| d.bandwidth.bytes_per_cycle())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::types::{ReqId, ReqKind, ReqType};
+
+    fn resp(domain: u16, kind: ReqKind, req_type: ReqType, lat: Cycle) -> MemResponse {
+        MemResponse {
+            id: ReqId(0),
+            domain: DomainId(domain),
+            addr: 0,
+            req_type,
+            kind,
+            arrived_at: 100,
+            completed_at: 100 + lat,
+        }
+    }
+
+    #[test]
+    fn records_by_kind_and_type() {
+        let mut s = MemStats::new(2, 64);
+        s.record(&resp(0, ReqKind::Real, ReqType::Read, 50));
+        s.record(&resp(0, ReqKind::Real, ReqType::Write, 70));
+        s.record(&resp(0, ReqKind::Fake, ReqType::Read, 10));
+        s.record(&resp(1, ReqKind::Real, ReqType::Read, 30));
+
+        let d0 = s.domain(DomainId(0));
+        assert_eq!(d0.reads, 1);
+        assert_eq!(d0.writes, 1);
+        assert_eq!(d0.fakes, 1);
+        assert_eq!(d0.total(), 3);
+        assert_eq!(d0.mean_latency(), Some(60.0));
+
+        let d1 = s.domain(DomainId(1));
+        assert_eq!(d1.reads, 1);
+        assert_eq!(d1.fakes, 0);
+    }
+
+    #[test]
+    fn fake_traffic_counts_toward_bandwidth_only() {
+        let mut s = MemStats::new(1, 64);
+        s.record(&resp(0, ReqKind::Fake, ReqType::Read, 10));
+        s.set_cycles(64);
+        let d = s.domain(DomainId(0));
+        assert_eq!(d.mean_latency(), None);
+        assert!((d.bandwidth.bytes_per_cycle() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_domain_ignored() {
+        let mut s = MemStats::new(1, 64);
+        s.record(&resp(9, ReqKind::Real, ReqType::Read, 10));
+        assert_eq!(s.domain(DomainId(0)).total(), 0);
+    }
+
+    #[test]
+    fn total_bandwidth_sums_domains() {
+        let mut s = MemStats::new(2, 64);
+        s.record(&resp(0, ReqKind::Real, ReqType::Read, 10));
+        s.record(&resp(1, ReqKind::Real, ReqType::Read, 10));
+        s.set_cycles(128);
+        assert!((s.total_bytes_per_cycle() - 1.0).abs() < 1e-12);
+    }
+}

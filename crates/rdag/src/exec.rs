@@ -1,0 +1,295 @@
+//! The rDAG execution state machine — the shaper's "computation logic"
+//! (§4.4).
+//!
+//! The hardware described in the paper tracks, per sequence/bank: a bit
+//! indicating whether the shaper is waiting for a response, a read/write
+//! bit, and a counter of remaining cycles until the next request is
+//! required. [`RdagExecutor`] is the cycle-accurate software model of that
+//! logic: it walks each sequence of the defense rDAG, demanding a request
+//! `weight` cycles after the previous response returned.
+//!
+//! Crucially, nothing in this module ever observes the victim's traffic —
+//! emission times, banks and types are functions of the defense rDAG and
+//! the (receiver-visible) completion times alone. That is the root of the
+//! §5 indistinguishability property.
+
+use serde::{Deserialize, Serialize};
+
+use dg_sim::clock::{ClockRatio, Cycle};
+use dg_sim::types::ReqType;
+
+use crate::template::SequenceSpec;
+
+/// A request the defense rDAG prescribes to emit now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotDemand {
+    /// Which parallel sequence demands the request.
+    pub seq: usize,
+    /// Prescribed bank.
+    pub bank: u32,
+    /// Prescribed read/write type.
+    pub req_type: ReqType,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum SeqState {
+    /// The next request may be emitted at or after `at`.
+    Ready { at: Cycle },
+    /// A request is in flight; the sequence stalls until its response.
+    WaitingResponse,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SeqRuntime {
+    spec: SequenceSpec,
+    state: SeqState,
+    /// Index of the next vertex to emit.
+    k: u64,
+}
+
+/// Executes a defense rDAG: reports when each sequence demands a request
+/// and advances as the shaper emits requests and receives responses.
+///
+/// # Example
+///
+/// ```
+/// use dg_rdag::exec::RdagExecutor;
+/// use dg_rdag::template::RdagTemplate;
+/// use dg_sim::clock::ClockRatio;
+///
+/// let t = RdagTemplate::new(1, 150, 0.0);
+/// let mut ex = RdagExecutor::new(t.sequence_specs(8), ClockRatio::new(1));
+/// let d = ex.poll(0);
+/// assert_eq!(d.len(), 1); // the chain demands its first request at reset
+/// ex.emitted(d[0].seq, 0);
+/// assert!(ex.poll(0).is_empty()); // now waiting for the response
+/// ex.completed(d[0].seq, 100);
+/// assert!(ex.poll(249).is_empty()); // weight not yet elapsed
+/// assert_eq!(ex.poll(250).len(), 1); // 100 + 150 = 250
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdagExecutor {
+    seqs: Vec<SeqRuntime>,
+    /// Edge weights converted to CPU cycles.
+    weight_cpu: Vec<Cycle>,
+    emitted_total: u64,
+}
+
+impl RdagExecutor {
+    /// Builds an executor over the given sequence specs. Edge weights in
+    /// the specs are DRAM cycles and are converted with `ratio`.
+    pub fn new(specs: Vec<SequenceSpec>, ratio: ClockRatio) -> Self {
+        let weight_cpu = specs.iter().map(|s| ratio.dram_to_cpu(s.weight)).collect();
+        Self {
+            seqs: specs
+                .into_iter()
+                .map(|spec| SeqRuntime {
+                    spec,
+                    state: SeqState::Ready { at: 0 },
+                    k: 0,
+                })
+                .collect(),
+            weight_cpu,
+            emitted_total: 0,
+        }
+    }
+
+    /// Number of parallel sequences.
+    pub fn sequence_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Total requests demanded and emitted so far.
+    pub fn emitted_total(&self) -> u64 {
+        self.emitted_total
+    }
+
+    /// Sequences whose next request is due at or before `now`.
+    pub fn poll(&self, now: Cycle) -> Vec<SlotDemand> {
+        self.seqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.state {
+                SeqState::Ready { at } if at <= now => Some(SlotDemand {
+                    seq: i,
+                    bank: s.spec.vertex_bank(s.k),
+                    req_type: s.spec.vertex_type(s.k),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Records that the shaper emitted the demanded request of sequence
+    /// `seq` at `now`; the sequence now waits for its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence was not ready — callers must emit only what
+    /// [`poll`](Self::poll) demanded.
+    pub fn emitted(&mut self, seq: usize, now: Cycle) {
+        let s = &mut self.seqs[seq];
+        match s.state {
+            SeqState::Ready { at } => {
+                assert!(at <= now, "sequence {seq} emitted before it was due");
+                s.state = SeqState::WaitingResponse;
+                s.k += 1;
+                self.emitted_total += 1;
+            }
+            SeqState::WaitingResponse => {
+                panic!("sequence {seq} already has a request in flight")
+            }
+        }
+    }
+
+    /// Records that the in-flight request of sequence `seq` completed at
+    /// `now`; the next request becomes due `weight` cycles later. When a
+    /// request is delayed by contention, everything downstream shifts with
+    /// it — the *versatility* property of §4.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence had no request in flight.
+    pub fn completed(&mut self, seq: usize, now: Cycle) {
+        let s = &mut self.seqs[seq];
+        assert_eq!(
+            s.state,
+            SeqState::WaitingResponse,
+            "sequence {seq} had no request in flight"
+        );
+        s.state = SeqState::Ready {
+            at: now + self.weight_cpu[seq],
+        };
+    }
+
+    /// True when any sequence has a request in flight.
+    pub fn in_flight(&self) -> bool {
+        self.seqs
+            .iter()
+            .any(|s| s.state == SeqState::WaitingResponse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::RdagTemplate;
+
+    fn exec(seqs: u32, weight: u64) -> RdagExecutor {
+        let t = RdagTemplate::new(seqs, weight, 0.0);
+        RdagExecutor::new(t.sequence_specs(8), ClockRatio::new(1))
+    }
+
+    #[test]
+    fn all_sequences_demand_at_reset() {
+        let ex = exec(4, 100);
+        let d = ex.poll(0);
+        assert_eq!(d.len(), 4);
+        let banks: Vec<u32> = d.iter().map(|s| s.bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sequence_lifecycle_and_weight() {
+        let mut ex = exec(1, 150);
+        ex.emitted(0, 0);
+        assert!(ex.poll(1000).is_empty());
+        assert!(ex.in_flight());
+        ex.completed(0, 200);
+        assert!(ex.poll(349).is_empty());
+        let d = ex.poll(350);
+        assert_eq!(d.len(), 1);
+        // A single sequence cycles through every bank in turn.
+        assert_eq!(d[0].bank, 1);
+    }
+
+    #[test]
+    fn delay_propagates_downstream() {
+        // The adaptivity property of Figure 5(d): a delayed completion
+        // pushes the next arrival out by the same amount.
+        let mut ex = exec(1, 150);
+        ex.emitted(0, 0);
+        ex.completed(0, 100); // uncontended
+        let d = ex.poll(250);
+        assert_eq!(d.len(), 1);
+        ex.emitted(0, 250);
+        ex.completed(0, 250 + 175); // contention added 75 cycles
+        assert!(ex.poll(250 + 175 + 149).is_empty());
+        assert_eq!(ex.poll(250 + 175 + 150).len(), 1);
+    }
+
+    #[test]
+    fn sequences_advance_independently() {
+        let mut ex = exec(2, 100);
+        ex.emitted(0, 0);
+        ex.emitted(1, 0);
+        ex.completed(0, 50);
+        // Sequence 0 becomes ready at 150; sequence 1 still in flight.
+        let d = ex.poll(150);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].seq, 0);
+    }
+
+    #[test]
+    fn clock_ratio_scales_weights() {
+        let t = RdagTemplate::new(1, 100, 0.0);
+        let mut ex = RdagExecutor::new(t.sequence_specs(8), ClockRatio::new(3));
+        ex.emitted(0, 0);
+        ex.completed(0, 0);
+        assert!(ex.poll(299).is_empty());
+        assert_eq!(ex.poll(300).len(), 1);
+    }
+
+    #[test]
+    fn write_vertices_surface_in_demands() {
+        let t = RdagTemplate::new(1, 0, 0.5);
+        let spec = t.sequence_specs(8);
+        let mut ex = RdagExecutor::new(spec.clone(), ClockRatio::new(1));
+        let mut types = Vec::new();
+        for now in 0..32 {
+            let d = ex.poll(now);
+            types.push(d[0].req_type);
+            ex.emitted(0, now);
+            ex.completed(0, now);
+        }
+        // The demands surface exactly the spec's deterministic write
+        // marker, and at ratio 0.5 both types appear.
+        let expected: Vec<ReqType> = (0..32).map(|k| spec[0].vertex_type(k)).collect();
+        assert_eq!(types, expected);
+        assert!(types.contains(&ReqType::Write));
+        assert!(types.contains(&ReqType::Read));
+    }
+
+    #[test]
+    fn emitted_counts() {
+        let mut ex = exec(2, 0);
+        assert_eq!(ex.emitted_total(), 0);
+        ex.emitted(0, 0);
+        ex.emitted(1, 0);
+        assert_eq!(ex.emitted_total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a request in flight")]
+    fn double_emit_panics() {
+        let mut ex = exec(1, 100);
+        ex.emitted(0, 0);
+        ex.emitted(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in flight")]
+    fn stray_completion_panics() {
+        let mut ex = exec(1, 100);
+        ex.completed(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before it was due")]
+    fn premature_emit_panics() {
+        let mut ex = exec(1, 100);
+        ex.emitted(0, 0);
+        ex.completed(0, 10);
+        ex.emitted(0, 50); // due at 110
+    }
+}

@@ -1,0 +1,211 @@
+//! Original-rDAG extraction (§4.1).
+//!
+//! "A victim's unshaped memory request pattern can also be described using
+//! an rDAG, which we call the *original* rDAG." This module reconstructs
+//! that graph from an observed request log: each request becomes a vertex;
+//! an edge connects request *a* to request *b* with weight
+//! `arrival(b) − completion(a)` when *b* was emitted after *a* completed
+//! and *a* is the latest such request (the inferred timing dependency).
+//! Requests in flight simultaneously end up with no path between them —
+//! the memory-level-parallelism structure the representation captures.
+
+use serde::{Deserialize, Serialize};
+
+use dg_sim::clock::Cycle;
+use dg_sim::types::ReqType;
+
+use crate::graph::{Rdag, Vertex, VertexId};
+
+/// One observed request: arrival and completion times at the memory
+/// controller, plus its bank and type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRequest {
+    /// Arrival at the memory controller (CPU cycles).
+    pub arrival: Cycle,
+    /// Completion (response leaves the controller).
+    pub completion: Cycle,
+    /// Target bank.
+    pub bank: u32,
+    /// Read or write.
+    pub req_type: ReqType,
+}
+
+/// Extracts the original rDAG from a request log.
+///
+/// Dependency inference: request *b* depends on the most recently
+/// completed request *a* with `completion(a) ≤ arrival(b)` (the emission
+/// of *b* could only have been gated by responses the core had already
+/// seen). Requests with no completed predecessor are roots. This is the
+/// standard conservative reconstruction — it cannot over-approximate
+/// parallelism, so schedules derived from the extracted graph are
+/// achievable by the original program.
+///
+/// # Panics
+///
+/// Panics if any request completes before it arrives.
+pub fn extract_rdag(log: &[ObservedRequest]) -> Rdag {
+    let mut g = Rdag::new();
+    let mut order: Vec<usize> = (0..log.len()).collect();
+    order.sort_by_key(|&i| (log[i].arrival, log[i].completion));
+
+    let ids: Vec<VertexId> = order
+        .iter()
+        .map(|&i| {
+            let r = &log[i];
+            assert!(r.completion >= r.arrival, "completion before arrival");
+            g.add_vertex(Vertex {
+                bank: r.bank,
+                req_type: r.req_type,
+            })
+        })
+        .collect();
+
+    for (pos, &i) in order.iter().enumerate() {
+        let b = &log[i];
+        // Latest-completing predecessor that finished before b arrived.
+        let mut best: Option<(usize, Cycle)> = None;
+        for (ppos, &j) in order[..pos].iter().enumerate() {
+            let a = &log[j];
+            if a.completion <= b.arrival {
+                match best {
+                    Some((_, c)) if c >= a.completion => {}
+                    _ => best = Some((ppos, a.completion)),
+                }
+            }
+        }
+        if let Some((ppos, completion)) = best {
+            let w = b.arrival - completion;
+            g.add_edge(ids[ppos], ids[pos], w)
+                .expect("chronological edges are acyclic");
+        }
+    }
+    g
+}
+
+/// Summary statistics of an extracted rDAG, for profiling reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RdagSummary {
+    /// Vertices (requests).
+    pub requests: usize,
+    /// Root vertices (requests with no inferred dependency).
+    pub roots: usize,
+    /// Mean edge weight (inter-request think time) in cycles.
+    pub mean_weight: f64,
+    /// Fraction of write vertices.
+    pub write_fraction: f64,
+}
+
+/// Summarizes an rDAG.
+pub fn summarize(g: &Rdag) -> RdagSummary {
+    let weights: Vec<u64> = g.edge_list().map(|(_, _, w)| w).collect();
+    let writes = g
+        .vertex_ids()
+        .filter(|&v| g.vertex(v).req_type.is_write())
+        .count();
+    RdagSummary {
+        requests: g.vertex_count(),
+        roots: g.roots().len(),
+        mean_weight: if weights.is_empty() {
+            0.0
+        } else {
+            weights.iter().sum::<u64>() as f64 / weights.len() as f64
+        },
+        write_fraction: if g.vertex_count() == 0 {
+            0.0
+        } else {
+            writes as f64 / g.vertex_count() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: Cycle, completion: Cycle, bank: u32) -> ObservedRequest {
+        ObservedRequest {
+            arrival,
+            completion,
+            bank,
+            req_type: ReqType::Read,
+        }
+    }
+
+    #[test]
+    fn serial_chain_extracts_as_chain() {
+        // Three strictly serial requests: 0..100, 150..250, 300..400.
+        let log = vec![req(0, 100, 0), req(150, 250, 1), req(300, 400, 2)];
+        let g = extract_rdag(&log);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.roots().len(), 1);
+        let edges: Vec<_> = g.edge_list().collect();
+        assert_eq!(edges[0].2, 50); // 150 - 100
+        assert_eq!(edges[1].2, 50); // 300 - 250
+    }
+
+    #[test]
+    fn parallel_requests_have_no_path() {
+        // Two requests in flight simultaneously.
+        let log = vec![req(0, 100, 0), req(10, 110, 1)];
+        let g = extract_rdag(&log);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.roots().len(), 2);
+    }
+
+    #[test]
+    fn dependency_picks_latest_completion() {
+        // c arrives after both a and b completed; b completed later, so
+        // the inferred dependency is on b.
+        let log = vec![req(0, 100, 0), req(10, 150, 1), req(200, 300, 2)];
+        let g = extract_rdag(&log);
+        assert_eq!(g.edge_count(), 1);
+        let (src, dst, w) = g.edge_list().next().unwrap();
+        assert_eq!(g.vertex(src).bank, 1);
+        assert_eq!(g.vertex(dst).bank, 2);
+        assert_eq!(w, 50); // 200 - 150
+    }
+
+    #[test]
+    fn extracted_graph_is_always_acyclic() {
+        let log: Vec<ObservedRequest> = (0..50)
+            .map(|i| req(i * 7, i * 7 + 40, (i % 8) as u32))
+            .collect();
+        let g = extract_rdag(&log);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut log = vec![req(0, 100, 0), req(150, 250, 1)];
+        log.push(ObservedRequest {
+            arrival: 300,
+            completion: 350,
+            bank: 2,
+            req_type: ReqType::Write,
+        });
+        let g = extract_rdag(&log);
+        let s = summarize(&g);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.roots, 1);
+        assert!((s.mean_weight - 50.0).abs() < 1e-9);
+        assert!((s.write_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log() {
+        let g = extract_rdag(&[]);
+        assert_eq!(g.vertex_count(), 0);
+        let s = summarize(&g);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_weight, 0.0);
+    }
+
+    #[test]
+    fn unsorted_log_is_handled() {
+        let log = vec![req(300, 400, 2), req(0, 100, 0), req(150, 250, 1)];
+        let g = extract_rdag(&log);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.validate().is_ok());
+    }
+}

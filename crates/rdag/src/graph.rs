@@ -1,0 +1,384 @@
+//! The explicit rDAG graph representation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+use dg_sim::types::ReqType;
+
+/// Index of a vertex within an [`Rdag`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VertexId(pub u32);
+
+/// Index of an edge within an [`Rdag`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u32);
+
+/// One memory request in an rDAG: a bank ID and a read/write tag (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Target bank of the request.
+    pub bank: u32,
+    /// Read or write.
+    pub req_type: ReqType,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct Edge {
+    src: VertexId,
+    dst: VertexId,
+    /// Latency between the completion of `src` and the arrival of `dst`,
+    /// in DRAM cycles.
+    weight: u64,
+}
+
+/// Errors from rDAG construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RdagError {
+    /// An edge endpoint references a vertex that does not exist.
+    UnknownVertex(VertexId),
+    /// An edge connects a vertex to itself.
+    SelfLoop(VertexId),
+    /// The graph contains a cycle — it is not a DAG.
+    Cyclic,
+}
+
+impl fmt::Display for RdagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdagError::UnknownVertex(v) => write!(f, "unknown vertex v{}", v.0),
+            RdagError::SelfLoop(v) => write!(f, "self loop at v{}", v.0),
+            RdagError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for RdagError {}
+
+/// A weighted directed acyclic request graph.
+///
+/// # Example
+///
+/// ```
+/// use dg_rdag::graph::{Rdag, Vertex};
+/// use dg_sim::types::ReqType;
+///
+/// let mut g = Rdag::new();
+/// let a = g.add_vertex(Vertex { bank: 0, req_type: ReqType::Read });
+/// let b = g.add_vertex(Vertex { bank: 1, req_type: ReqType::Read });
+/// g.add_edge(a, b, 150)?;
+/// assert_eq!(g.roots(), vec![a]);
+/// assert!(g.topo_order().is_ok());
+/// # Ok::<(), dg_rdag::graph::RdagError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rdag {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+}
+
+impl Rdag {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self, v: Vertex) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(v);
+        id
+    }
+
+    /// Adds a timing-dependency edge of `weight` DRAM cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdagError::UnknownVertex`] or [`RdagError::SelfLoop`].
+    /// Cycle detection is deferred to [`validate`](Self::validate) /
+    /// [`topo_order`](Self::topo_order) so graphs can be built in any order.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: u64) -> Result<EdgeId, RdagError> {
+        for v in [src, dst] {
+            if v.0 as usize >= self.vertices.len() {
+                return Err(RdagError::UnknownVertex(v));
+            }
+        }
+        if src == dst {
+            return Err(RdagError::SelfLoop(src));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, weight });
+        Ok(id)
+    }
+
+    /// The vertex payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.0 as usize]
+    }
+
+    /// All vertex ids in insertion order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Edges as `(src, dst, weight)` triples.
+    pub fn edge_list(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
+        self.edges.iter().map(|e| (e.src, e.dst, e.weight))
+    }
+
+    /// Direct predecessors of `v` with edge weights.
+    pub fn predecessors(&self, v: VertexId) -> Vec<(VertexId, u64)> {
+        self.edges
+            .iter()
+            .filter(|e| e.dst == v)
+            .map(|e| (e.src, e.weight))
+            .collect()
+    }
+
+    /// Direct successors of `v` with edge weights.
+    pub fn successors(&self, v: VertexId) -> Vec<(VertexId, u64)> {
+        self.edges
+            .iter()
+            .filter(|e| e.src == v)
+            .map(|e| (e.dst, e.weight))
+            .collect()
+    }
+
+    /// Vertices with no predecessors (requests that may be emitted
+    /// immediately).
+    pub fn roots(&self) -> Vec<VertexId> {
+        let mut indeg = vec![0u32; self.vertices.len()];
+        for e in &self.edges {
+            indeg[e.dst.0 as usize] += 1;
+        }
+        indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+
+    /// Kahn topological sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdagError::Cyclic`] when the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<VertexId>, RdagError> {
+        let mut indeg = vec![0u32; self.vertices.len()];
+        for e in &self.edges {
+            indeg[e.dst.0 as usize] += 1;
+        }
+        let mut q: VecDeque<VertexId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.vertices.len());
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            for e in self.edges.iter().filter(|e| e.src == v) {
+                let d = &mut indeg[e.dst.0 as usize];
+                *d -= 1;
+                if *d == 0 {
+                    q.push_back(e.dst);
+                }
+            }
+        }
+        if order.len() == self.vertices.len() {
+            Ok(order)
+        } else {
+            Err(RdagError::Cyclic)
+        }
+    }
+
+    /// Validates the graph is a DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdagError::Cyclic`] when it is not.
+    pub fn validate(&self) -> Result<(), RdagError> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// Earliest arrival times of every vertex given that each request takes
+    /// `service` DRAM cycles in the memory controller and roots arrive at
+    /// cycle 0 — the contention-free schedule of the pattern.
+    ///
+    /// Arrival(v) = max over predecessors p of (arrival(p) + service + w(p,v)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdagError::Cyclic`] for cyclic graphs.
+    pub fn ideal_schedule(&self, service: u64) -> Result<Vec<u64>, RdagError> {
+        let order = self.topo_order()?;
+        let mut arrival = vec![0u64; self.vertices.len()];
+        for v in order {
+            for (p, w) in self.predecessors(v) {
+                arrival[v.0 as usize] =
+                    arrival[v.0 as usize].max(arrival[p.0 as usize] + service + w);
+            }
+        }
+        Ok(arrival)
+    }
+
+    /// Builds a strict chain of `n` read requests to `bank` with uniform
+    /// edge weight — the defense rDAG shape used by the §5 verification
+    /// model ("a sequence of strictly dependent requests").
+    pub fn chain(n: usize, bank: u32, weight: u64) -> Self {
+        let mut g = Rdag::new();
+        let mut prev: Option<VertexId> = None;
+        for _ in 0..n {
+            let v = g.add_vertex(Vertex {
+                bank,
+                req_type: ReqType::Read,
+            });
+            if let Some(p) = prev {
+                g.add_edge(p, v, weight).expect("chain edges are valid");
+            }
+            prev = Some(v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(bank: u32) -> Vertex {
+        Vertex {
+            bank,
+            req_type: ReqType::Read,
+        }
+    }
+
+    #[test]
+    fn figure4_shape() {
+        // v0 -> v1 -> v3 -> v4, v0 -> v2 -> v3 (the Figure 4 example).
+        let mut g = Rdag::new();
+        let v0 = g.add_vertex(v(0));
+        let v1 = g.add_vertex(v(1));
+        let v2 = g.add_vertex(v(2));
+        let v3 = g.add_vertex(v(3));
+        let v4 = g.add_vertex(v(0));
+        g.add_edge(v0, v1, 10).unwrap();
+        g.add_edge(v0, v2, 20).unwrap();
+        g.add_edge(v1, v3, 30).unwrap();
+        g.add_edge(v2, v3, 5).unwrap();
+        g.add_edge(v3, v4, 15).unwrap();
+
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.roots(), vec![v0]);
+        assert_eq!(g.successors(v0), vec![(v1, 10), (v2, 20)]);
+        assert_eq!(g.predecessors(v3), vec![(v1, 30), (v2, 5)]);
+        let order = g.topo_order().unwrap();
+        assert_eq!(order[0], v0);
+        assert_eq!(*order.last().unwrap(), v4);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Rdag::new();
+        let a = g.add_vertex(v(0));
+        let b = g.add_vertex(v(1));
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, a, 1).unwrap();
+        assert_eq!(g.validate(), Err(RdagError::Cyclic));
+        assert_eq!(g.topo_order(), Err(RdagError::Cyclic));
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        let mut g = Rdag::new();
+        let a = g.add_vertex(v(0));
+        assert_eq!(
+            g.add_edge(a, VertexId(5), 1),
+            Err(RdagError::UnknownVertex(VertexId(5)))
+        );
+        assert_eq!(g.add_edge(a, a, 1), Err(RdagError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn ideal_schedule_takes_longest_path() {
+        let mut g = Rdag::new();
+        let a = g.add_vertex(v(0));
+        let b = g.add_vertex(v(1));
+        let c = g.add_vertex(v(2));
+        let d = g.add_vertex(v(3));
+        g.add_edge(a, b, 100).unwrap();
+        g.add_edge(a, c, 10).unwrap();
+        g.add_edge(b, d, 10).unwrap();
+        g.add_edge(c, d, 10).unwrap();
+        let arr = g.ideal_schedule(50).unwrap();
+        assert_eq!(arr[a.0 as usize], 0);
+        assert_eq!(arr[b.0 as usize], 150);
+        assert_eq!(arr[c.0 as usize], 60);
+        // Through b: 150 + 50 + 10 = 210; through c: 60 + 50 + 10 = 120.
+        assert_eq!(arr[d.0 as usize], 210);
+    }
+
+    #[test]
+    fn chain_builder() {
+        let g = Rdag::chain(4, 2, 150);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.roots().len(), 1);
+        for id in g.vertex_ids() {
+            assert_eq!(g.vertex(id).bank, 2);
+        }
+        let sched = g.ideal_schedule(100).unwrap();
+        assert_eq!(sched, vec![0, 250, 500, 750]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Rdag::new();
+        assert!(g.roots().is_empty());
+        assert!(g.topo_order().unwrap().is_empty());
+        let mut g = Rdag::new();
+        let a = g.add_vertex(v(0));
+        assert_eq!(g.roots(), vec![a]);
+    }
+
+    #[test]
+    fn parallel_roots() {
+        let mut g = Rdag::new();
+        let a = g.add_vertex(v(0));
+        let b = g.add_vertex(v(1));
+        assert_eq!(g.roots(), vec![a, b]);
+        let arr = g.ideal_schedule(100).unwrap();
+        assert_eq!(arr, vec![0, 0]); // parallel: no path between them
+    }
+
+    #[test]
+    fn edge_list_matches_insertions() {
+        let g = Rdag::chain(3, 1, 99);
+        let edges: Vec<_> = g.edge_list().collect();
+        assert_eq!(
+            edges,
+            vec![(VertexId(0), VertexId(1), 99), (VertexId(1), VertexId(2), 99)]
+        );
+    }
+}

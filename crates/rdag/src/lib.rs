@@ -1,0 +1,42 @@
+//! Directed Acyclic Request Graphs (rDAGs) — the paper's core abstraction.
+//!
+//! An rDAG (§4.1) describes a memory request pattern: vertices are memory
+//! requests (tagged with a bank ID and read/write type), edges are timing
+//! dependencies weighted by the latency between the *completion* of the
+//! source request and the *arrival* of the destination request. Vertices
+//! with no path between them may be in flight in parallel.
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — the explicit graph representation with acyclicity
+//!   validation, used for original rDAGs, finite defense rDAGs and DOT
+//!   export (Figures 4–6).
+//! * [`template`] — the §4.3 template family (parallel sequences ×
+//!   uniform edge weight × write ratio) and the profiling search space.
+//! * [`exec`] — the online execution state machine (the "computation
+//!   logic" of §4.4) that tells a shaper *when* the defense rDAG prescribes
+//!   the next request and with what bank/type.
+//! * [`dot`] — Graphviz export.
+//!
+//! # Example
+//!
+//! ```
+//! use dg_rdag::template::RdagTemplate;
+//!
+//! // Figure 6(a): four parallel sequences, uniform weight 100 DRAM cycles.
+//! let t = RdagTemplate::new(4, 100, 0.001);
+//! let specs = t.sequence_specs(8);
+//! assert_eq!(specs.len(), 4);
+//! assert_eq!(specs[0].banks, vec![0, 4]); // alternates between two banks
+//! ```
+
+pub mod dot;
+pub mod exec;
+pub mod extract;
+pub mod graph;
+pub mod template;
+
+pub use exec::{RdagExecutor, SlotDemand};
+pub use extract::{extract_rdag, summarize, ObservedRequest, RdagSummary};
+pub use graph::{EdgeId, Rdag, RdagError, Vertex, VertexId};
+pub use template::{RdagTemplate, SequenceSpec};

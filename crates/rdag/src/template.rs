@@ -1,0 +1,308 @@
+//! rDAG templates and the profiling search space (§4.3).
+//!
+//! Rather than searching all possible rDAGs, DAGguise derives candidate
+//! defense rDAGs from a regular, repetitive template configured by three
+//! parameters: the number of *parallel sequences*, the uniform *edge
+//! weight*, and the *write ratio*. Each sequence is an infinite chain of
+//! strictly dependent requests that cycles through a fixed set of banks
+//! (Figure 6: with 8 banks and 4 sequences, each sequence alternates
+//! between two banks).
+
+use serde::{Deserialize, Serialize};
+
+use dg_sim::types::ReqType;
+
+use crate::graph::{Rdag, Vertex};
+
+/// A configured rDAG template.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RdagTemplate {
+    /// Number of parallel sequences (1, 2, 4 or 8 in the paper's sweep).
+    pub sequences: u32,
+    /// Uniform edge weight in DRAM cycles (0–400 in Figure 7).
+    pub weight: u64,
+    /// Fraction of vertices marked as writes (DocDist uses 1/1000).
+    pub write_ratio: f64,
+}
+
+impl RdagTemplate {
+    /// Creates a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is zero or `write_ratio` is outside `[0, 1]`.
+    pub fn new(sequences: u32, weight: u64, write_ratio: f64) -> Self {
+        assert!(sequences > 0, "need at least one sequence");
+        assert!(
+            (0.0..=1.0).contains(&write_ratio),
+            "write ratio must be in [0, 1]"
+        );
+        Self {
+            sequences,
+            weight,
+            write_ratio,
+        }
+    }
+
+    /// The deterministic write stride: every `period`-th vertex is a write
+    /// (`None` when the ratio is zero). Determinism matters for security —
+    /// the read/write pattern must be secret-independent (§4.4).
+    pub fn write_period(&self) -> Option<u64> {
+        if self.write_ratio <= 0.0 {
+            None
+        } else {
+            Some((1.0 / self.write_ratio).round().max(1.0) as u64)
+        }
+    }
+
+    /// Compiles the template into per-sequence state-machine specs for a
+    /// device with `banks` banks.
+    ///
+    /// Sequence `i` cycles through the banks congruent to `i` modulo the
+    /// sequence count: with 8 banks, 4 sequences give per-sequence bank
+    /// pairs `{0,4}, {1,5}, {2,6}, {3,7}` (Figure 6a) and 2 sequences give
+    /// `{0,2,4,6}, {1,3,5,7}` (Figure 6b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn sequence_specs(&self, banks: u32) -> Vec<SequenceSpec> {
+        assert!(banks > 0, "need at least one bank");
+        let period = self.write_period();
+        (0..self.sequences)
+            .map(|i| {
+                let mut seq_banks: Vec<u32> = (0..banks)
+                    .filter(|b| b % self.sequences == i % banks.max(1))
+                    .collect();
+                if seq_banks.is_empty() {
+                    // More sequences than banks: pin to one bank round-robin.
+                    seq_banks = vec![i % banks];
+                }
+                SequenceSpec {
+                    banks: seq_banks,
+                    weight: self.weight,
+                    write_period: period,
+                    phase: i as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Materializes `len` vertices per sequence into an explicit [`Rdag`]
+    /// (for visualization and for finite-horizon analyses).
+    pub fn instantiate(&self, banks: u32, len: usize) -> Rdag {
+        let specs = self.sequence_specs(banks);
+        let mut g = Rdag::new();
+        for spec in &specs {
+            let mut prev = None;
+            for k in 0..len {
+                let vertex = Vertex {
+                    bank: spec.banks[k % spec.banks.len()],
+                    req_type: spec.vertex_type(k as u64),
+                };
+                let id = g.add_vertex(vertex);
+                if let Some(p) = prev {
+                    g.add_edge(p, id, self.weight).expect("template edges valid");
+                }
+                prev = Some(id);
+            }
+        }
+        g
+    }
+
+    /// The profiling search space used for Figure 7: sequences ∈ {1,2,4,8},
+    /// weight ∈ {0, 50, …, 400} DRAM cycles.
+    pub fn search_space(write_ratio: f64) -> Vec<RdagTemplate> {
+        let mut out = Vec::new();
+        for &seqs in &[1u32, 2, 4, 8] {
+            for weight in (0..=400).step_by(50) {
+                out.push(RdagTemplate::new(seqs, weight, write_ratio));
+            }
+        }
+        out
+    }
+
+    /// Requests per DRAM cycle this template prescribes in the absence of
+    /// contention, assuming each request occupies the controller for
+    /// `service` DRAM cycles. Higher density demands more bandwidth (§4.3:
+    /// "the density of the defense rDAG determines the allocated
+    /// bandwidth").
+    pub fn density(&self, service: u64) -> f64 {
+        f64::from(self.sequences) / (self.weight + service) as f64
+    }
+}
+
+/// One compiled sequence of a template: an infinite chain alternating over
+/// `banks`, with a `weight`-cycle gap between a completion and the next
+/// arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceSpec {
+    /// Banks this sequence cycles through.
+    pub banks: Vec<u32>,
+    /// Edge weight in DRAM cycles.
+    pub weight: u64,
+    /// Every `write_period`-th vertex is a write (`None`: reads only).
+    pub write_period: Option<u64>,
+    /// Sequence index, used to de-phase the write strides across sequences.
+    pub phase: u64,
+}
+
+impl SequenceSpec {
+    /// The bank of the `k`-th vertex of this sequence.
+    pub fn vertex_bank(&self, k: u64) -> u32 {
+        self.banks[(k % self.banks.len() as u64) as usize]
+    }
+
+    /// The type of the `k`-th vertex of this sequence.
+    ///
+    /// Write vertices are selected by a deterministic hash of the vertex
+    /// index rather than a fixed stride: a stride whose period shares a
+    /// factor with the sequence's bank-rotation length would pin write
+    /// slots to a subset of banks, permanently starving write-backs to the
+    /// others. The hash decorrelates the write marker from the bank
+    /// rotation while remaining a pure (secret-independent) function of
+    /// the vertex index, preserving one write per `write_period` vertices
+    /// on average.
+    pub fn vertex_type(&self, k: u64) -> ReqType {
+        match self.write_period {
+            Some(p) => {
+                let h = splitmix(k.wrapping_add(self.phase.wrapping_mul(0x9E37_79B9)));
+                if h % p == p - 1 {
+                    ReqType::Write
+                } else {
+                    ReqType::Read
+                }
+            }
+            None => ReqType::Read,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a fixed, publicly-known mixing function.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6a_four_sequences() {
+        let t = RdagTemplate::new(4, 100, 0.0);
+        let specs = t.sequence_specs(8);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].banks, vec![0, 4]);
+        assert_eq!(specs[1].banks, vec![1, 5]);
+        assert_eq!(specs[2].banks, vec![2, 6]);
+        assert_eq!(specs[3].banks, vec![3, 7]);
+        // Alternation between the two banks.
+        assert_eq!(specs[0].vertex_bank(0), 0);
+        assert_eq!(specs[0].vertex_bank(1), 4);
+        assert_eq!(specs[0].vertex_bank(2), 0);
+    }
+
+    #[test]
+    fn figure6b_two_sequences() {
+        let t = RdagTemplate::new(2, 200, 0.0);
+        let specs = t.sequence_specs(8);
+        assert_eq!(specs[0].banks, vec![0, 2, 4, 6]);
+        assert_eq!(specs[1].banks, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn more_sequences_than_banks() {
+        let t = RdagTemplate::new(8, 100, 0.0);
+        let specs = t.sequence_specs(4);
+        assert_eq!(specs.len(), 8);
+        for s in &specs {
+            assert_eq!(s.banks.len(), 1);
+            assert!(s.banks[0] < 4);
+        }
+    }
+
+    #[test]
+    fn write_period_from_ratio() {
+        assert_eq!(RdagTemplate::new(1, 0, 0.0).write_period(), None);
+        assert_eq!(RdagTemplate::new(1, 0, 0.001).write_period(), Some(1000));
+        assert_eq!(RdagTemplate::new(1, 0, 0.5).write_period(), Some(2));
+        assert_eq!(RdagTemplate::new(1, 0, 1.0).write_period(), Some(1));
+    }
+
+    #[test]
+    fn write_marker_is_deterministic_and_ratio_accurate() {
+        let t = RdagTemplate::new(1, 100, 0.25);
+        let spec = &t.sequence_specs(8)[0];
+        let a: Vec<ReqType> = (0..64).map(|k| spec.vertex_type(k)).collect();
+        let b: Vec<ReqType> = (0..64).map(|k| spec.vertex_type(k)).collect();
+        assert_eq!(a, b, "pure function of the vertex index");
+        let writes = (0..40_000).filter(|&k| spec.vertex_type(k).is_write()).count();
+        let share = writes as f64 / 40_000.0;
+        assert!((share - 0.25).abs() < 0.02, "share = {share}");
+    }
+
+    #[test]
+    fn write_slots_reach_every_bank() {
+        // Regression: a strided write marker whose period shared a factor
+        // with the 2-bank alternation pinned write slots to half the
+        // banks, starving the others' write-backs (deadlock). The hashed
+        // marker must produce a write slot for every bank a sequence
+        // visits.
+        let t = RdagTemplate::new(4, 100, 0.25);
+        for spec in t.sequence_specs(8) {
+            let mut write_banks: Vec<u32> = (0..10_000)
+                .filter(|&k| spec.vertex_type(k).is_write())
+                .map(|k| spec.vertex_bank(k))
+                .collect();
+            write_banks.sort_unstable();
+            write_banks.dedup();
+            assert_eq!(
+                write_banks, spec.banks,
+                "every bank of {:?} gets write slots",
+                spec.banks
+            );
+        }
+    }
+
+    #[test]
+    fn instantiate_produces_parallel_chains() {
+        let t = RdagTemplate::new(4, 100, 0.0);
+        let g = t.instantiate(8, 5);
+        assert_eq!(g.vertex_count(), 20);
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(g.roots().len(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn search_space_shape() {
+        let space = RdagTemplate::search_space(0.001);
+        assert_eq!(space.len(), 4 * 9);
+        assert!(space.iter().any(|t| t.sequences == 8 && t.weight == 0));
+        assert!(space.iter().any(|t| t.sequences == 1 && t.weight == 400));
+    }
+
+    #[test]
+    fn density_ordering() {
+        // Denser templates (more sequences, lower weight) demand more
+        // bandwidth.
+        let sparse = RdagTemplate::new(1, 400, 0.0).density(25);
+        let dense = RdagTemplate::new(8, 0, 0.0).density(25);
+        assert!(dense > sparse * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn zero_sequences_panics() {
+        RdagTemplate::new(0, 100, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write ratio")]
+    fn bad_write_ratio_panics() {
+        RdagTemplate::new(1, 100, 1.5);
+    }
+}

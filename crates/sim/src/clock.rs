@@ -1,0 +1,152 @@
+//! Simulation clock and clock-domain arithmetic.
+//!
+//! The global simulation clock runs in **CPU cycles** (2.4 GHz in the paper's
+//! Table 2 configuration). DRAM timing parameters and rDAG edge weights are
+//! expressed in **DRAM command-bus cycles** (800 MHz for DDR3-1600); the
+//! [`ClockRatio`] type converts between the two domains.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time or a duration, measured in global (CPU) cycles.
+///
+/// The simulation never runs long enough for `u64` to overflow: at 2.4 GHz a
+/// `u64` covers roughly 240 years of simulated time.
+pub type Cycle = u64;
+
+/// Ratio between the CPU clock and the DRAM command clock.
+///
+/// For the paper's configuration (2.4 GHz cores, DDR3-1600 whose command bus
+/// runs at 800 MHz) the ratio is 3 CPU cycles per DRAM cycle.
+///
+/// # Example
+///
+/// ```
+/// use dg_sim::clock::ClockRatio;
+///
+/// let r = ClockRatio::default();
+/// assert_eq!(r.cpu_per_dram(), 3);
+/// assert_eq!(r.dram_to_cpu(100), 300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockRatio {
+    cpu_per_dram: u64,
+}
+
+impl ClockRatio {
+    /// Creates a new ratio of `cpu_per_dram` CPU cycles per DRAM cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_per_dram` is zero.
+    pub fn new(cpu_per_dram: u64) -> Self {
+        assert!(cpu_per_dram > 0, "clock ratio must be positive");
+        Self { cpu_per_dram }
+    }
+
+    /// Number of CPU cycles per DRAM command-bus cycle.
+    pub fn cpu_per_dram(self) -> u64 {
+        self.cpu_per_dram
+    }
+
+    /// Converts a duration in DRAM cycles to CPU cycles.
+    pub fn dram_to_cpu(self, dram_cycles: u64) -> Cycle {
+        dram_cycles * self.cpu_per_dram
+    }
+
+    /// Converts a duration in CPU cycles to whole DRAM cycles, rounding up.
+    ///
+    /// Rounding up is the conservative direction for timing constraints: a
+    /// constraint of `x` CPU cycles is satisfied after `ceil(x / ratio)` DRAM
+    /// cycles.
+    pub fn cpu_to_dram_ceil(self, cpu_cycles: Cycle) -> u64 {
+        cpu_cycles.div_ceil(self.cpu_per_dram)
+    }
+
+    /// Returns true when `cycle` falls on a DRAM command-bus edge.
+    pub fn is_dram_edge(self, cycle: Cycle) -> bool {
+        cycle.is_multiple_of(self.cpu_per_dram)
+    }
+
+    /// The first DRAM command-bus edge at or after `cycle`.
+    pub fn next_dram_edge(self, cycle: Cycle) -> Cycle {
+        cycle.next_multiple_of(self.cpu_per_dram)
+    }
+}
+
+impl Default for ClockRatio {
+    /// The Table 2 configuration: 2.4 GHz cores with an 800 MHz DRAM command
+    /// bus, i.e. 3 CPU cycles per DRAM cycle.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+/// Converts a bandwidth expressed in bytes per CPU cycle into GB/s for the
+/// paper's 2.4 GHz clock.
+///
+/// Figure 7(b) of the paper reports allocated bandwidth in GB/s; this helper
+/// keeps the conversion in one place.
+///
+/// # Example
+///
+/// ```
+/// use dg_sim::clock::bytes_per_cycle_to_gbps;
+///
+/// // One 64-byte line every 30 CPU cycles at 2.4GHz is ~5.12 GB/s.
+/// let gbps = bytes_per_cycle_to_gbps(64.0 / 30.0, 2.4e9);
+/// assert!((gbps - 5.12).abs() < 0.01);
+/// ```
+pub fn bytes_per_cycle_to_gbps(bytes_per_cycle: f64, clock_hz: f64) -> f64 {
+    bytes_per_cycle * clock_hz / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratio_is_three() {
+        assert_eq!(ClockRatio::default().cpu_per_dram(), 3);
+    }
+
+    #[test]
+    fn dram_to_cpu_scales() {
+        let r = ClockRatio::new(3);
+        assert_eq!(r.dram_to_cpu(0), 0);
+        assert_eq!(r.dram_to_cpu(39), 117);
+    }
+
+    #[test]
+    fn cpu_to_dram_rounds_up() {
+        let r = ClockRatio::new(3);
+        assert_eq!(r.cpu_to_dram_ceil(0), 0);
+        assert_eq!(r.cpu_to_dram_ceil(1), 1);
+        assert_eq!(r.cpu_to_dram_ceil(3), 1);
+        assert_eq!(r.cpu_to_dram_ceil(4), 2);
+    }
+
+    #[test]
+    fn dram_edges() {
+        let r = ClockRatio::new(3);
+        assert!(r.is_dram_edge(0));
+        assert!(!r.is_dram_edge(1));
+        assert!(!r.is_dram_edge(2));
+        assert!(r.is_dram_edge(3));
+        assert_eq!(r.next_dram_edge(0), 0);
+        assert_eq!(r.next_dram_edge(1), 3);
+        assert_eq!(r.next_dram_edge(3), 3);
+        assert_eq!(r.next_dram_edge(4), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ratio_panics() {
+        let _ = ClockRatio::new(0);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        // 1 byte per cycle at 1 GHz is exactly 1 GB/s.
+        assert!((bytes_per_cycle_to_gbps(1.0, 1e9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,451 @@
+//! Architecture configuration, mirroring Table 2 of the paper.
+//!
+//! All defaults reproduce the paper's baseline: 2/8 out-of-order cores at
+//! 2.4 GHz, a three-level cache hierarchy, and a single-channel, single-rank,
+//! eight-bank DDR3-1600 DRAM with the exact timing parameters listed in
+//! Table 2.
+
+use crate::clock::ClockRatio;
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Core parameters (Table 2, "Core" row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Issue width (instructions per cycle).
+    pub issue_width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_entries: u32,
+    /// Maximum outstanding LLC misses per core (MSHR-limited MLP).
+    pub max_outstanding_misses: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            issue_width: 8,
+            rob_entries: 192,
+            max_outstanding_misses: 16,
+            clock_hz: 2.4e9,
+        }
+    }
+}
+
+/// Parameters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Round-trip hit latency in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by size, line and ways.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.ways))
+    }
+}
+
+/// Cache hierarchy parameters (Table 2, cache rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Private L1 data cache: 32 KB, 8-way, 4-cycle round trip.
+    pub l1: CacheLevelConfig,
+    /// Private L2: 256 KB, 16-way, 13-cycle round trip.
+    pub l2: CacheLevelConfig,
+    /// Shared L3: 1 MB per core, 16-way, 42-cycle round trip.
+    pub l3_per_core: CacheLevelConfig,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            l1: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 4,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                hit_latency: 13,
+            },
+            l3_per_core: CacheLevelConfig {
+                size_bytes: 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                hit_latency: 42,
+            },
+        }
+    }
+}
+
+/// DRAM timing parameters in **DRAM command-bus cycles**, exactly as listed
+/// in Table 2 (DDR3-1600).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct DramTiming {
+    /// ACT-to-ACT delay, same bank (row cycle time).
+    pub tRC: u64,
+    /// ACT-to-RD/WR delay (RAS-to-CAS).
+    pub tRCD: u64,
+    /// ACT-to-PRE minimum (row active time).
+    pub tRAS: u64,
+    /// Four-activate window.
+    pub tFAW: u64,
+    /// Write recovery: end of write data to PRE.
+    pub tWR: u64,
+    /// PRE-to-ACT delay (row precharge).
+    pub tRP: u64,
+    /// Rank-to-rank switch (single rank: read-to-write bus turnaround pad).
+    pub tRTRS: u64,
+    /// CAS latency: RD to first data beat.
+    pub tCAS: u64,
+    /// Read-to-PRE delay.
+    pub tRTP: u64,
+    /// Data burst length on the bus (cycles per 64B line).
+    pub tBURST: u64,
+    /// CAS-to-CAS delay (column command spacing).
+    pub tCCD: u64,
+    /// Write-to-read turnaround, same rank.
+    pub tWTR: u64,
+    /// ACT-to-ACT delay, different banks same rank.
+    pub tRRD: u64,
+    /// Refresh interval in DRAM cycles (7.8 us at 800 MHz).
+    pub tREFI: u64,
+    /// Refresh cycle time in DRAM cycles (260 ns at 800 MHz).
+    pub tRFC: u64,
+    /// Write CAS latency: WR command to first data beat.
+    pub tCWD: u64,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self {
+            tRC: 39,
+            tRCD: 11,
+            tRAS: 28,
+            tFAW: 24,
+            tWR: 12,
+            tRP: 11,
+            tRTRS: 2,
+            tCAS: 11,
+            tRTP: 6,
+            tBURST: 4,
+            tCCD: 4,
+            tWTR: 6,
+            tRRD: 5,
+            // 7.8us * 800MHz = 6240 DRAM cycles.
+            tREFI: 6240,
+            // 260ns * 800MHz = 208 DRAM cycles.
+            tRFC: 208,
+            // DDR3: CWL is typically CL-1.
+            tCWD: 10,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Validates internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a constraint that the bank
+    /// state machine relies on is violated (e.g. `tRC < tRAS + tRP`).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tRC < self.tRAS + self.tRP {
+            return Err(SimError::InvalidConfig(format!(
+                "tRC ({}) must cover tRAS + tRP ({})",
+                self.tRC,
+                self.tRAS + self.tRP
+            )));
+        }
+        if self.tRAS < self.tRCD {
+            return Err(SimError::InvalidConfig(
+                "tRAS must be at least tRCD".into(),
+            ));
+        }
+        if self.tBURST == 0 || self.tCAS == 0 || self.tRCD == 0 || self.tRP == 0 {
+            return Err(SimError::InvalidConfig(
+                "core timing parameters must be positive".into(),
+            ));
+        }
+        if self.tFAW < self.tRRD {
+            return Err(SimError::InvalidConfig(
+                "tFAW must be at least tRRD".into(),
+            ));
+        }
+        if self.tRFC >= self.tREFI {
+            return Err(SimError::InvalidConfig(
+                "tRFC must be smaller than tREFI".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Minimum closed-row read service time in DRAM cycles:
+    /// ACT → (tRCD) → RD → (tCAS + tBURST) → data done, with the bank busy
+    /// until the auto-precharge completes.
+    pub fn closed_row_read_latency(&self) -> u64 {
+        self.tRCD + self.tCAS + self.tBURST
+    }
+}
+
+/// DRAM organization (Table 2, "DRAM Configuration").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramOrg {
+    /// Number of channels (paper: 1).
+    pub channels: u32,
+    /// Ranks per channel (paper: 1).
+    pub ranks: u32,
+    /// Banks per rank (paper: 8).
+    pub banks: u32,
+    /// Row size (DRAM page) in bytes.
+    pub row_bytes: u64,
+    /// Total capacity in bytes (4 GB for 2-core, 8 GB for 8-core).
+    pub capacity_bytes: u64,
+    /// Cache-line / transaction size in bytes.
+    pub line_bytes: u64,
+}
+
+impl Default for DramOrg {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+            banks: 8,
+            row_bytes: 8 * 1024,
+            capacity_bytes: 4 * 1024 * 1024 * 1024,
+            line_bytes: 64,
+        }
+    }
+}
+
+/// Row-buffer management policy (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Rows stay open after access; temporally adjacent same-row accesses
+    /// hit in the row buffer. Used by the insecure baseline.
+    Open,
+    /// Rows are precharged immediately after each access, hiding row-buffer
+    /// state. Required for DAGguise and FS-BTA (§6.1).
+    Closed,
+}
+
+/// Memory controller queue sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Global transaction queue capacity.
+    pub transaction_queue: usize,
+    /// Per-bank command queue capacity.
+    pub per_bank_queue: usize,
+    /// Per-protected-domain private (shaper) queue capacity (§6.4: 8).
+    pub private_queue: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            transaction_queue: 32,
+            per_bank_queue: 16,
+            private_queue: 8,
+        }
+    }
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy.
+    pub cache: CacheConfig,
+    /// DRAM organization.
+    pub dram_org: DramOrg,
+    /// DRAM timing in DRAM cycles.
+    pub timing: DramTiming,
+    /// CPU:DRAM clock ratio.
+    pub clock_ratio: ClockRatio,
+    /// Queue capacities.
+    pub queues: QueueConfig,
+    /// Row-buffer policy.
+    pub row_policy: RowPolicy,
+}
+
+impl SystemConfig {
+    /// The two-core configuration used in §6.2 (4 GB DRAM).
+    pub fn two_core() -> Self {
+        Self {
+            cores: 2,
+            core: CoreConfig::default(),
+            cache: CacheConfig::default(),
+            dram_org: DramOrg::default(),
+            timing: DramTiming::default(),
+            clock_ratio: ClockRatio::default(),
+            queues: QueueConfig::default(),
+            row_policy: RowPolicy::Open,
+        }
+    }
+
+    /// The eight-core configuration used in §6.3 (8 GB DRAM).
+    pub fn eight_core() -> Self {
+        let mut cfg = Self::two_core();
+        cfg.cores = 8;
+        cfg.dram_org.capacity_bytes = 8 * 1024 * 1024 * 1024;
+        cfg
+    }
+
+    /// Switches to a closed-row policy (for protected configurations).
+    pub fn with_row_policy(mut self, policy: RowPolicy) -> Self {
+        self.row_policy = policy;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig("need at least one core".into()));
+        }
+        if !self.dram_org.banks.is_power_of_two() {
+            return Err(SimError::InvalidConfig(
+                "bank count must be a power of two".into(),
+            ));
+        }
+        if !self.dram_org.line_bytes.is_power_of_two() || !self.dram_org.row_bytes.is_power_of_two()
+        {
+            return Err(SimError::InvalidConfig(
+                "line and row sizes must be powers of two".into(),
+            ));
+        }
+        if self.dram_org.row_bytes < self.dram_org.line_bytes {
+            return Err(SimError::InvalidConfig(
+                "row must hold at least one line".into(),
+            ));
+        }
+        self.timing.validate()
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::two_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_core_defaults() {
+        let c = CoreConfig::default();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.clock_hz, 2.4e9);
+    }
+
+    #[test]
+    fn table2_cache_defaults() {
+        let c = CacheConfig::default();
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 8);
+        assert_eq!(c.l1.hit_latency, 4);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.l2.hit_latency, 13);
+        assert_eq!(c.l3_per_core.size_bytes, 1024 * 1024);
+        assert_eq!(c.l3_per_core.hit_latency, 42);
+        assert_eq!(c.l1.sets(), 64);
+    }
+
+    #[test]
+    fn table2_dram_timing_defaults() {
+        let t = DramTiming::default();
+        assert_eq!(t.tRC, 39);
+        assert_eq!(t.tRCD, 11);
+        assert_eq!(t.tRAS, 28);
+        assert_eq!(t.tFAW, 24);
+        assert_eq!(t.tWR, 12);
+        assert_eq!(t.tRP, 11);
+        assert_eq!(t.tRTRS, 2);
+        assert_eq!(t.tCAS, 11);
+        assert_eq!(t.tRTP, 6);
+        assert_eq!(t.tBURST, 4);
+        assert_eq!(t.tCCD, 4);
+        assert_eq!(t.tWTR, 6);
+        assert_eq!(t.tRRD, 5);
+        assert_eq!(t.tREFI, 6240);
+        assert_eq!(t.tRFC, 208);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn two_and_eight_core_configs() {
+        let two = SystemConfig::two_core();
+        assert_eq!(two.cores, 2);
+        assert_eq!(two.dram_org.capacity_bytes, 4 * 1024 * 1024 * 1024);
+        two.validate().unwrap();
+
+        let eight = SystemConfig::eight_core();
+        assert_eq!(eight.cores, 8);
+        assert_eq!(eight.dram_org.capacity_bytes, 8 * 1024 * 1024 * 1024);
+        eight.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_timing_rejected() {
+        let mut t = DramTiming::default();
+        t.tRC = 10;
+        assert!(t.validate().is_err());
+
+        let mut t = DramTiming::default();
+        t.tRAS = 5;
+        assert!(t.validate().is_err());
+
+        let mut t = DramTiming::default();
+        t.tRFC = t.tREFI;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_org_rejected() {
+        let mut cfg = SystemConfig::two_core();
+        cfg.dram_org.banks = 6;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::two_core();
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::two_core();
+        cfg.dram_org.row_bytes = 32;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn closed_row_latency() {
+        let t = DramTiming::default();
+        assert_eq!(t.closed_row_read_latency(), 11 + 11 + 4);
+    }
+
+    #[test]
+    fn row_policy_switch() {
+        let cfg = SystemConfig::two_core().with_row_policy(RowPolicy::Closed);
+        assert_eq!(cfg.row_policy, RowPolicy::Closed);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is inconsistent or out of range.
+    InvalidConfig(String),
+    /// A component queue overflowed where the model requires back-pressure
+    /// instead (indicates a wiring bug, not a workload property).
+    QueueOverflow(&'static str),
+    /// The simulation exceeded its cycle budget without completing.
+    Deadline { budget: u64 },
+    /// A request id was not found where it was expected.
+    UnknownRequest(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::QueueOverflow(which) => write!(f, "queue overflow in {which}"),
+            SimError::Deadline { budget } => {
+                write!(f, "simulation exceeded cycle budget of {budget}")
+            }
+            SimError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::InvalidConfig("bad".into()).to_string(),
+            "invalid configuration: bad"
+        );
+        assert_eq!(
+            SimError::QueueOverflow("txq").to_string(),
+            "queue overflow in txq"
+        );
+        assert_eq!(
+            SimError::Deadline { budget: 5 }.to_string(),
+            "simulation exceeded cycle budget of 5"
+        );
+        assert_eq!(
+            SimError::UnknownRequest(9).to_string(),
+            "unknown request id 9"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn take(_: &dyn Error) {}
+        take(&SimError::QueueOverflow("x"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Foundation crate for the DAGguise reproduction.
+//!
+//! This crate provides the pieces every other crate in the workspace builds
+//! on: the simulation clock and clock-domain arithmetic ([`clock`]), the
+//! shared memory-request/response vocabulary ([`types`]), a deterministic
+//! seedable random number generator ([`rng`]), statistics collectors
+//! ([`stats`]), and the architecture configuration from Table 2 of the paper
+//! ([`config`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dg_sim::config::SystemConfig;
+//! use dg_sim::types::{DomainId, MemRequest, ReqType};
+//!
+//! let cfg = SystemConfig::two_core();
+//! assert_eq!(cfg.cores, 2);
+//! let req = MemRequest::read(DomainId(0), 0x1000, 0);
+//! assert_eq!(req.req_type, ReqType::Read);
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod rng;
+pub mod stats;
+pub mod types;
+
+pub use clock::{Cycle, ClockRatio};
+pub use config::SystemConfig;
+pub use error::SimError;
+pub use rng::DetRng;
+pub use types::{Addr, DomainId, MemRequest, MemResponse, ReqId, ReqKind, ReqType};

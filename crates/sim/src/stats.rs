@@ -1,0 +1,322 @@
+//! Statistics collectors used by every simulated component.
+//!
+//! The evaluation reports three families of metrics: per-core IPC normalized
+//! to an insecure baseline (Figures 9/10), allocated DRAM bandwidth in GB/s
+//! (Figure 7b), and request latency distributions (the receiver-observable
+//! quantity in Figure 1). [`IpcMeter`], [`BandwidthMeter`] and [`Histogram`]
+//! collect them respectively.
+
+use crate::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Running mean/min/max of a stream of `f64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// A fixed-bucket latency histogram.
+///
+/// Buckets are `bucket_width`-cycle wide; samples beyond the last bucket are
+/// clamped into it so the histogram never loses a sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_buckets` buckets of `bucket_width` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `n_buckets` is zero.
+    pub fn new(bucket_width: u64, n_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets: vec![0; n_buckets],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = ((v / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Returns `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * self.bucket_width, c))
+            .collect()
+    }
+
+    /// Approximate p-th percentile (`p` in `[0, 100]`), by bucket lower
+    /// bound. Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((p.clamp(0.0, 100.0) / 100.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(i as u64 * self.bucket_width);
+            }
+        }
+        Some((self.buckets.len() as u64 - 1) * self.bucket_width)
+    }
+}
+
+/// Instructions-per-cycle meter for one core.
+///
+/// # Example
+///
+/// ```
+/// use dg_sim::stats::IpcMeter;
+///
+/// let mut m = IpcMeter::new();
+/// m.retire(800);
+/// m.set_cycles(1000);
+/// assert!((m.ipc() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpcMeter {
+    instructions: u64,
+    cycles: Cycle,
+}
+
+impl IpcMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` retired instructions.
+    pub fn retire(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Sets the elapsed cycle count.
+    pub fn set_cycles(&mut self, cycles: Cycle) {
+        self.cycles = cycles;
+    }
+
+    /// Total retired instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.cycles
+    }
+
+    /// Instructions per cycle; 0 when no cycles have elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// DRAM bandwidth meter: counts bytes transferred over a window of cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandwidthMeter {
+    bytes: u64,
+    cycles: Cycle,
+}
+
+impl BandwidthMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer of `bytes` bytes.
+    pub fn transfer(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Sets the elapsed cycle count of the measurement window.
+    pub fn set_cycles(&mut self, cycles: Cycle) {
+        self.cycles = cycles;
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average bytes per cycle over the window; 0 when the window is empty.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average bandwidth in GB/s for a clock of `clock_hz`.
+    pub fn gbps(&self, clock_hz: f64) -> f64 {
+        crate::clock::bytes_per_cycle_to_gbps(self.bytes_per_cycle(), clock_hz)
+    }
+}
+
+/// Geometric mean of a slice of positive values, as used for the
+/// `geomean` bars in Figures 9 and 10.
+///
+/// Returns `None` for an empty slice or any non-positive element.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        s.record(2.0);
+        s.record(4.0);
+        s.record(9.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 15.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamp() {
+        let mut h = Histogram::new(10, 4);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(35);
+        h.record(1000); // clamped into last bucket
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.buckets(), &[2, 1, 0, 2]);
+        assert_eq!(h.nonzero(), vec![(0, 2), (10, 1), (30, 2)]);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(50.0), Some(49));
+        assert_eq!(h.percentile(100.0), Some(99));
+        assert_eq!(Histogram::new(1, 1).percentile(50.0), None);
+    }
+
+    #[test]
+    fn ipc_meter() {
+        let mut m = IpcMeter::new();
+        assert_eq!(m.ipc(), 0.0);
+        m.retire(100);
+        m.retire(50);
+        m.set_cycles(300);
+        assert!((m.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(m.instructions(), 150);
+        assert_eq!(m.cycles(), 300);
+    }
+
+    #[test]
+    fn bandwidth_meter() {
+        let mut b = BandwidthMeter::new();
+        b.transfer(64);
+        b.transfer(64);
+        b.set_cycles(64);
+        assert!((b.bytes_per_cycle() - 2.0).abs() < 1e-12);
+        // 2 bytes/cycle at 1 GHz = 2 GB/s.
+        assert!((b.gbps(1e9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geomean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+}

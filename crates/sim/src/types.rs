@@ -1,0 +1,259 @@
+//! The shared memory-request vocabulary used across the workspace.
+//!
+//! Every component — cores, caches, shapers, defenses, the memory
+//! controller — exchanges [`MemRequest`] and [`MemResponse`] values. A
+//! request is tagged with the [`DomainId`] of the security domain that
+//! emitted it (§4.4 of the paper: "every memory request is tagged with a
+//! security domain ID") and with a [`ReqKind`] distinguishing real requests
+//! from the fake requests a shaper fabricates.
+
+use crate::clock::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical memory address (byte granularity).
+pub type Addr = u64;
+
+/// Identifier of a security domain.
+///
+/// In the paper's threat model each core (or enclave) belongs to one security
+/// domain; requests carry the domain ID so the memory controller front-end
+/// can route protected domains through their private shaper queues.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DomainId(pub u16);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Unique identifier of an in-flight memory request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl ReqId {
+    /// Composes a workspace-unique id from an issuer domain and a per-issuer
+    /// sequence number. Cores and shapers each own the sequence space of
+    /// their domain, so ids never collide across components.
+    pub fn compose(domain: DomainId, seq: u64) -> Self {
+        debug_assert!(seq < 1 << 48, "sequence number overflow");
+        ReqId((u64::from(domain.0) << 48) | seq)
+    }
+
+    /// The domain encoded by [`compose`](Self::compose).
+    pub fn domain(self) -> DomainId {
+        DomainId((self.0 >> 48) as u16)
+    }
+}
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Read or write, the two transaction types the DRAM command scheduler
+/// distinguishes (§4.1: "each vertex is associated with a bank ID and a tag
+/// to indicate whether it is a read or write request").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqType {
+    /// A read transaction (cache-line fill).
+    Read,
+    /// A write transaction (dirty line write-back).
+    Write,
+}
+
+impl ReqType {
+    /// Returns true for [`ReqType::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, ReqType::Write)
+    }
+}
+
+impl fmt::Display for ReqType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReqType::Read => write!(f, "R"),
+            ReqType::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// Whether a request carries a real payload or was fabricated by a shaper to
+/// preserve conformance with the defense rDAG (§4.4, "Fake Requests").
+///
+/// Fake requests contend for memory-controller resources exactly like real
+/// ones — that indistinguishability is what makes the defense sound — but
+/// their responses are consumed by the shaper instead of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// An ordinary request originating from a core.
+    #[default]
+    Real,
+    /// A shaper-fabricated request; its response never reaches a core.
+    Fake,
+}
+
+impl ReqKind {
+    /// Returns true for [`ReqKind::Fake`].
+    pub fn is_fake(self) -> bool {
+        matches!(self, ReqKind::Fake)
+    }
+}
+
+/// A memory request as seen by the memory controller front-end.
+///
+/// # Example
+///
+/// ```
+/// use dg_sim::types::{DomainId, MemRequest, ReqKind, ReqType};
+///
+/// let r = MemRequest::read(DomainId(1), 0x40, 100);
+/// assert_eq!(r.req_type, ReqType::Read);
+/// assert_eq!(r.kind, ReqKind::Real);
+/// assert_eq!(r.created_at, 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id, assigned by the issuing component (0 until assigned).
+    pub id: ReqId,
+    /// Security domain of the issuer.
+    pub domain: DomainId,
+    /// Physical byte address.
+    pub addr: Addr,
+    /// Read or write.
+    pub req_type: ReqType,
+    /// Real or shaper-fabricated.
+    pub kind: ReqKind,
+    /// CPU cycle at which the request was created by the core / shaper.
+    pub created_at: Cycle,
+}
+
+impl MemRequest {
+    /// Creates a real read request.
+    pub fn read(domain: DomainId, addr: Addr, created_at: Cycle) -> Self {
+        Self {
+            id: ReqId(0),
+            domain,
+            addr,
+            req_type: ReqType::Read,
+            kind: ReqKind::Real,
+            created_at,
+        }
+    }
+
+    /// Creates a real write request.
+    pub fn write(domain: DomainId, addr: Addr, created_at: Cycle) -> Self {
+        Self {
+            id: ReqId(0),
+            domain,
+            addr,
+            req_type: ReqType::Write,
+            kind: ReqKind::Real,
+            created_at,
+        }
+    }
+
+    /// Creates a fake request of the given type, as fabricated by a shaper.
+    pub fn fake(domain: DomainId, addr: Addr, req_type: ReqType, created_at: Cycle) -> Self {
+        Self {
+            id: ReqId(0),
+            domain,
+            addr,
+            req_type,
+            kind: ReqKind::Fake,
+            created_at,
+        }
+    }
+
+    /// Returns a copy with the id replaced.
+    pub fn with_id(mut self, id: ReqId) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+/// A completed memory transaction, reported by the memory controller when
+/// the response leaves it (the *completion time* of §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemResponse {
+    /// Id of the completed request.
+    pub id: ReqId,
+    /// Security domain of the original issuer.
+    pub domain: DomainId,
+    /// Address of the completed request.
+    pub addr: Addr,
+    /// Read or write.
+    pub req_type: ReqType,
+    /// Real or fake.
+    pub kind: ReqKind,
+    /// CPU cycle at which the request entered the memory controller
+    /// transaction queue (the *arrival time* of §4.1).
+    pub arrived_at: Cycle,
+    /// CPU cycle at which the response left the memory controller.
+    pub completed_at: Cycle,
+}
+
+impl MemResponse {
+    /// Memory latency observed for this request, in CPU cycles.
+    ///
+    /// This is the receiver-observable quantity that memory timing side
+    /// channels exploit (§2.2).
+    pub fn latency(&self) -> Cycle {
+        self.completed_at - self.arrived_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let r = MemRequest::read(DomainId(3), 0x1234, 7);
+        assert_eq!(r.domain, DomainId(3));
+        assert_eq!(r.addr, 0x1234);
+        assert_eq!(r.req_type, ReqType::Read);
+        assert!(!r.kind.is_fake());
+
+        let w = MemRequest::write(DomainId(0), 0x40, 0);
+        assert!(w.req_type.is_write());
+
+        let f = MemRequest::fake(DomainId(1), 0x80, ReqType::Read, 9);
+        assert!(f.kind.is_fake());
+        assert_eq!(f.created_at, 9);
+    }
+
+    #[test]
+    fn with_id_replaces_id() {
+        let r = MemRequest::read(DomainId(0), 0, 0).with_id(ReqId(42));
+        assert_eq!(r.id, ReqId(42));
+    }
+
+    #[test]
+    fn response_latency() {
+        let resp = MemResponse {
+            id: ReqId(1),
+            domain: DomainId(0),
+            addr: 0,
+            req_type: ReqType::Read,
+            kind: ReqKind::Real,
+            arrived_at: 100,
+            completed_at: 190,
+        };
+        assert_eq!(resp.latency(), 90);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(DomainId(2).to_string(), "D2");
+        assert_eq!(ReqId(5).to_string(), "r5");
+        assert_eq!(ReqType::Read.to_string(), "R");
+        assert_eq!(ReqType::Write.to_string(), "W");
+    }
+}

@@ -1,0 +1,240 @@
+//! Builder for the memory/defense configurations the paper evaluates.
+
+use dagguise::{Shaper, ShaperConfig};
+use dg_cpu::{Core, DagCore, DagWorkload, MemTrace, TraceCore};
+use dg_defenses::{CamouflageShaper, FixedService, FsConfig, FsSpatial, FsSpatialConfig, IntervalDistribution, TemporalPartition, TpConfig};
+use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory};
+use dg_rdag::template::RdagTemplate;
+use dg_sim::config::{RowPolicy, SystemConfig};
+use dg_sim::types::DomainId;
+
+use crate::system::System;
+
+/// Which memory path to build.
+#[derive(Debug, Clone)]
+pub enum MemoryKind {
+    /// Insecure baseline: open-row FR-FCFS, no shaping.
+    Insecure,
+    /// DAGguise: closed-row FR-FCFS with a shaper on each protected domain.
+    /// `protected[i]` gives the defense rDAG for domain `i` (`None` =
+    /// unprotected pass-through).
+    Dagguise {
+        /// Per-domain defense rDAG templates.
+        protected: Vec<Option<RdagTemplate>>,
+    },
+    /// Fixed Service across all domains (closed-row discipline baked into
+    /// the slot timing).
+    FixedService,
+    /// FS-BTA: bank-triple-alternation Fixed Service.
+    FsBta,
+    /// Spatially-partitioned Fixed Service: each domain owns a disjoint
+    /// set of banks (§8).
+    FsSpatial,
+    /// Temporal Partitioning with the given slots per period.
+    TemporalPartition {
+        /// Request slots per domain period.
+        slots_per_period: u64,
+    },
+    /// Camouflage shapers on protected domains.
+    Camouflage {
+        /// Per-domain interval distributions (`None` = unprotected).
+        protected: Vec<Option<IntervalDistribution>>,
+    },
+}
+
+/// Assembles a [`System`] from cores and a memory kind.
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    cores: Vec<Box<dyn Core>>,
+    kind: MemoryKind,
+}
+
+impl SystemBuilder {
+    /// Starts building a system with the given base configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self {
+            cfg,
+            cores: Vec::new(),
+            kind: MemoryKind::Insecure,
+        }
+    }
+
+    /// Adds a trace-driven core; its domain is its position.
+    pub fn trace_core(mut self, trace: MemTrace) -> Self {
+        let domain = DomainId(self.cores.len() as u16);
+        self.cores
+            .push(Box::new(TraceCore::new(domain, trace, &self.cfg)));
+        self
+    }
+
+    /// Adds a DAG-workload core; its domain is its position.
+    pub fn dag_core(mut self, workload: DagWorkload) -> Self {
+        let domain = DomainId(self.cores.len() as u16);
+        self.cores
+            .push(Box::new(DagCore::new(domain, workload, &self.cfg)));
+        self
+    }
+
+    /// Adds an already-built core.
+    pub fn core(mut self, core: Box<dyn Core>) -> Self {
+        self.cores.push(core);
+        self
+    }
+
+    /// Selects the memory path.
+    pub fn memory(mut self, kind: MemoryKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cores were added, or a per-domain defense list does not
+    /// match the core count.
+    pub fn build(self) -> System {
+        assert!(!self.cores.is_empty(), "a system needs at least one core");
+        let domains = self.cores.len();
+        let mut cfg = self.cfg;
+        cfg.cores = domains;
+
+        let mem: Box<dyn MemorySubsystem> = match self.kind {
+            MemoryKind::Insecure => {
+                cfg.row_policy = RowPolicy::Open;
+                Box::new(MemoryController::new(&cfg, SchedPolicy::FrFcfs))
+            }
+            MemoryKind::Dagguise { protected } => {
+                assert_eq!(
+                    protected.len(),
+                    domains,
+                    "one defense entry per core required"
+                );
+                // Row-buffer state must be hidden: closed-row policy (§6.1).
+                cfg.row_policy = RowPolicy::Closed;
+                let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+                let shapers: Vec<Box<dyn DomainShaper>> = protected
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| -> Box<dyn DomainShaper> {
+                        let d = DomainId(i as u16);
+                        match t {
+                            Some(template) => Box::new(Shaper::new(
+                                ShaperConfig::from_system(d, template, &cfg),
+                            )),
+                            None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
+                        }
+                    })
+                    .collect();
+                Box::new(ShapedMemory::new(mc, shapers))
+            }
+            MemoryKind::FixedService => {
+                let fs_cfg = FsConfig::fixed_service(&cfg, domains);
+                Box::new(FixedService::new(&cfg, fs_cfg))
+            }
+            MemoryKind::FsBta => {
+                let fs_cfg = FsConfig::fs_bta(&cfg, domains);
+                Box::new(FixedService::new(&cfg, fs_cfg))
+            }
+            MemoryKind::FsSpatial => {
+                let fs_cfg = FsSpatialConfig::new(&cfg, domains);
+                Box::new(FsSpatial::new(&cfg, fs_cfg))
+            }
+            MemoryKind::TemporalPartition { slots_per_period } => {
+                let tp_cfg = TpConfig::new(&cfg, domains, slots_per_period);
+                Box::new(TemporalPartition::new(&cfg, tp_cfg))
+            }
+            MemoryKind::Camouflage { protected } => {
+                assert_eq!(
+                    protected.len(),
+                    domains,
+                    "one distribution entry per core required"
+                );
+                cfg.row_policy = RowPolicy::Closed;
+                let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+                let shapers: Vec<Box<dyn DomainShaper>> = protected
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, dist)| -> Box<dyn DomainShaper> {
+                        let d = DomainId(i as u16);
+                        match dist {
+                            Some(dist) => Box::new(CamouflageShaper::new(
+                                d,
+                                dist,
+                                &cfg,
+                                0xCA30 ^ i as u64,
+                            )),
+                            None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
+                        }
+                    })
+                    .collect();
+                Box::new(ShapedMemory::new(mc, shapers))
+            }
+        };
+
+        System::new(cfg, self.cores, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: u64) -> MemTrace {
+        let mut t = MemTrace::new();
+        for i in 0..n {
+            t.load(i * 64 * 131, 30);
+        }
+        t
+    }
+
+    #[test]
+    fn builds_every_memory_kind() {
+        let kinds: Vec<MemoryKind> = vec![
+            MemoryKind::Insecure,
+            MemoryKind::Dagguise {
+                protected: vec![Some(RdagTemplate::new(4, 100, 0.001)), None],
+            },
+            MemoryKind::FixedService,
+            MemoryKind::FsBta,
+            MemoryKind::FsSpatial,
+            MemoryKind::TemporalPartition { slots_per_period: 8 },
+            MemoryKind::Camouflage {
+                protected: vec![Some(IntervalDistribution::figure2()), None],
+            },
+        ];
+        for kind in kinds {
+            let mut sys = SystemBuilder::new(SystemConfig::two_core())
+                .trace_core(trace(50))
+                .trace_core(trace(50))
+                .memory(kind.clone())
+                .build();
+            let end = sys.run_until_finished(50_000_000);
+            assert!(end.is_ok(), "kind {kind:?} deadlocked: {end:?}");
+        }
+    }
+
+    #[test]
+    fn dag_core_system() {
+        let mut sys = SystemBuilder::new(SystemConfig::two_core())
+            .dag_core(DagWorkload::chain(10, 100, 64))
+            .memory(MemoryKind::Insecure)
+            .build();
+        sys.run_until_finished(1_000_000).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_system_rejected() {
+        let _ = SystemBuilder::new(SystemConfig::two_core()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "one defense entry per core")]
+    fn mismatched_protection_list_rejected() {
+        let _ = SystemBuilder::new(SystemConfig::two_core())
+            .trace_core(trace(10))
+            .memory(MemoryKind::Dagguise { protected: vec![] })
+            .build();
+    }
+}

@@ -1,0 +1,167 @@
+//! Co-location experiment runner (Figures 9 and 10).
+
+use dg_cpu::MemTrace;
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_sim::error::SimError;
+use dg_sim::types::DomainId;
+use serde::{Deserialize, Serialize};
+
+use crate::builder::{MemoryKind, SystemBuilder};
+
+/// Per-core outcome of a co-location run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Instructions the core retired.
+    pub instructions: u64,
+    /// Cycles the core ran (its finish time, or the run end if unfinished).
+    pub cycles: Cycle,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Whether the core drained its whole trace.
+    pub finished: bool,
+}
+
+/// Outcome of one co-location run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationResult {
+    /// Per-core results, indexed by domain.
+    pub cores: Vec<CoreResult>,
+    /// Per-domain average bandwidth in GB/s (fake traffic included — it
+    /// occupies the bus).
+    pub bandwidth_gbps: Vec<f64>,
+    /// Total cycles simulated.
+    pub total_cycles: Cycle,
+}
+
+impl ColocationResult {
+    /// Arithmetic mean IPC across cores (the "average normalized IPC" of
+    /// Figures 9/10 is this value normalized to an insecure run).
+    pub fn mean_ipc(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc).sum::<f64>() / self.cores.len().max(1) as f64
+    }
+}
+
+/// Runs the given traces co-located on one system with the given memory
+/// path, until the *primary* core (domain 0) finishes — the paper's
+/// victim-centric measurement interval — or all cores finish, whichever is
+/// later, bounded by `budget`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadline`] when the budget is exhausted before the
+/// primary core finishes.
+pub fn run_colocation(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    budget: Cycle,
+) -> Result<ColocationResult, SimError> {
+    let n = traces.len();
+    let mut builder = SystemBuilder::new(cfg.clone());
+    for t in traces {
+        builder = builder.trace_core(t);
+    }
+    let mut sys = builder.memory(kind).build();
+
+    sys.run_until_core_finished(0, budget)?;
+    let end = sys.now();
+
+    let cores = (0..n)
+        .map(|i| {
+            let c = &sys.cores()[i];
+            let cycles = c.finished_at().unwrap_or(end).max(1);
+            CoreResult {
+                instructions: c.instructions_retired(),
+                cycles,
+                ipc: c.instructions_retired() as f64 / cycles as f64,
+                finished: c.finished(),
+            }
+        })
+        .collect();
+
+    let clock_hz = cfg.core.clock_hz;
+    let stats = sys.memory().stats();
+    let bandwidth_gbps = (0..n)
+        .map(|i| stats.domain(DomainId(i as u16)).bandwidth.gbps(clock_hz))
+        .collect();
+
+    Ok(ColocationResult {
+        cores,
+        bandwidth_gbps,
+        total_cycles: end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_rdag::template::RdagTemplate;
+
+    fn stream(n: u64, base: u64, gap: u64) -> MemTrace {
+        let mut t = MemTrace::new();
+        for i in 0..n {
+            t.load(base + i * 64, gap);
+        }
+        t
+    }
+
+    #[test]
+    fn insecure_colocation_reports_both_cores() {
+        let cfg = SystemConfig::two_core();
+        let r = run_colocation(
+            &cfg,
+            vec![stream(300, 0, 20), stream(3000, 1 << 30, 20)],
+            MemoryKind::Insecure,
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores[0].finished);
+        assert!(r.cores[0].ipc > 0.0);
+        assert!(r.bandwidth_gbps[0] > 0.0);
+        assert!(r.mean_ipc() > 0.0);
+    }
+
+    #[test]
+    fn dagguise_slows_victim_but_not_catastrophically() {
+        let cfg = SystemConfig::two_core();
+        let victim = stream(300, 0, 20);
+        let co = stream(3000, 1 << 30, 20);
+
+        let insecure = run_colocation(
+            &cfg,
+            vec![victim.clone(), co.clone()],
+            MemoryKind::Insecure,
+            200_000_000,
+        )
+        .unwrap();
+        let protected = run_colocation(
+            &cfg,
+            vec![victim, co],
+            MemoryKind::Dagguise {
+                protected: vec![Some(RdagTemplate::new(4, 100, 0.01)), None],
+            },
+            200_000_000,
+        )
+        .unwrap();
+
+        let norm_victim = protected.cores[0].ipc / insecure.cores[0].ipc;
+        assert!(
+            norm_victim > 0.1 && norm_victim <= 1.5,
+            "victim normalized IPC plausible: {norm_victim}"
+        );
+    }
+
+    #[test]
+    fn deadline_surfaces() {
+        let cfg = SystemConfig::two_core();
+        let r = run_colocation(
+            &cfg,
+            vec![stream(100, 0, 20)],
+            MemoryKind::Insecure,
+            10,
+        );
+        assert!(matches!(r, Err(SimError::Deadline { .. })));
+    }
+}

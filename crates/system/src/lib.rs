@@ -1,0 +1,41 @@
+//! Full-system assembly and experiment runners.
+//!
+//! This crate wires the substrates into the systems the paper evaluates:
+//! cores (`dg-cpu`) with private caches and a shared L3 (`dg-cache`),
+//! feeding a memory path that is one of: the insecure FR-FCFS controller,
+//! a shaped controller with DAGguise or Camouflage shapers on protected
+//! domains, or a Fixed Service / FS-BTA / Temporal Partitioning
+//! controller (`dg-defenses`).
+//!
+//! On top of [`System`] sit the experiment runners used by the figure
+//! harnesses: co-location runs for Figures 9/10 ([`experiment`]) and the
+//! offline profiling sweep of Figure 7 ([`profile`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dg_system::{MemoryKind, SystemBuilder};
+//! use dg_sim::config::SystemConfig;
+//! use dg_cpu::MemTrace;
+//!
+//! let cfg = SystemConfig::two_core();
+//! let mut t = MemTrace::new();
+//! t.load(0x4000, 50);
+//! let mut sys = SystemBuilder::new(cfg)
+//!     .trace_core(t.clone())
+//!     .trace_core(t)
+//!     .memory(MemoryKind::Insecure)
+//!     .build();
+//! let end = sys.run_until_finished(1_000_000).unwrap();
+//! assert!(end > 0);
+//! ```
+
+pub mod builder;
+pub mod experiment;
+pub mod profile;
+pub mod system;
+
+pub use builder::{MemoryKind, SystemBuilder};
+pub use experiment::{run_colocation, ColocationResult, CoreResult};
+pub use profile::{profile_victim, select_defense_rdag, ProfilePoint};
+pub use system::System;

@@ -1,0 +1,208 @@
+//! The cycle-driven system: cores + shared L3 + memory path.
+
+use dg_cache::SetAssocCache;
+use dg_cpu::Core;
+use dg_mem::MemorySubsystem;
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_sim::error::SimError;
+
+/// A complete simulated system.
+///
+/// Cores are indexed by their [`dg_sim::types::DomainId`]: core `i` is
+/// domain `i`, and memory responses are routed back by that id.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Box<dyn Core>>,
+    l3: SetAssocCache,
+    mem: Box<dyn MemorySubsystem>,
+    now: Cycle,
+}
+
+impl System {
+    /// Assembles a system. Use [`crate::SystemBuilder`] rather than calling
+    /// this directly.
+    pub(crate) fn new(
+        cfg: SystemConfig,
+        cores: Vec<Box<dyn Core>>,
+        mem: Box<dyn MemorySubsystem>,
+    ) -> Self {
+        // The shared L3 scales with the core count (1 MB per core, Table 2).
+        let mut l3_cfg = cfg.cache.l3_per_core;
+        l3_cfg.size_bytes *= cores.len().max(1) as u64;
+        let l3 = SetAssocCache::new(l3_cfg, "L3");
+        Self {
+            cfg,
+            cores,
+            l3,
+            mem,
+            now: 0,
+        }
+    }
+
+    /// The configuration this system runs.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The cores (for result extraction).
+    pub fn cores(&self) -> &[Box<dyn Core>] {
+        &self.cores
+    }
+
+    /// The memory path (for statistics).
+    pub fn memory(&self) -> &dyn MemorySubsystem {
+        self.mem.as_ref()
+    }
+
+    /// The shared L3 (for statistics).
+    pub fn l3(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Advances the whole system one CPU cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // Memory first: completions this cycle unblock cores this cycle.
+        let responses = self.mem.tick(now);
+        for resp in responses {
+            let idx = resp.domain.0 as usize;
+            if let Some(core) = self.cores.get_mut(idx) {
+                core.on_response(&resp, now);
+            }
+        }
+        for core in &mut self.cores {
+            core.tick(now, &mut self.l3, self.mem.as_mut());
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every core finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadline`] if the budget is exhausted first.
+    pub fn run_until_finished(&mut self, budget: Cycle) -> Result<Cycle, SimError> {
+        let start = self.now;
+        while self.now - start < budget {
+            if self.cores.iter().all(|c| c.finished()) {
+                self.mem.stats_mut().set_cycles(self.now);
+                return Ok(self.now);
+            }
+            self.tick();
+        }
+        Err(SimError::Deadline { budget })
+    }
+
+    /// Runs until the core in `domain` finishes (other cores keep running
+    /// alongside, providing contention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadline`] if the budget is exhausted first.
+    pub fn run_until_core_finished(&mut self, domain: usize, budget: Cycle) -> Result<Cycle, SimError> {
+        let start = self.now;
+        while self.now - start < budget {
+            if self.cores[domain].finished() {
+                self.mem.stats_mut().set_cycles(self.now);
+                return Ok(self.cores[domain].finished_at().expect("finished"));
+            }
+            self.tick();
+        }
+        Err(SimError::Deadline { budget })
+    }
+
+    /// Runs exactly `window` cycles.
+    pub fn run_for(&mut self, window: Cycle) {
+        for _ in 0..window {
+            self.tick();
+        }
+        self.mem.stats_mut().set_cycles(self.now);
+    }
+
+    /// IPC of core `i` as of now.
+    pub fn ipc(&self, i: usize) -> f64 {
+        self.cores[i].ipc_at(self.now)
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{MemoryKind, SystemBuilder};
+    use dg_cpu::MemTrace;
+    use dg_sim::config::SystemConfig;
+
+    fn small_trace(lines: u64, base: u64) -> MemTrace {
+        let mut t = MemTrace::new();
+        for i in 0..lines {
+            t.load(base + i * 64 * 97, 20);
+        }
+        t
+    }
+
+    #[test]
+    fn two_core_insecure_run_completes() {
+        let cfg = SystemConfig::two_core();
+        let mut sys = SystemBuilder::new(cfg)
+            .trace_core(small_trace(200, 0))
+            .trace_core(small_trace(200, 1 << 30))
+            .memory(MemoryKind::Insecure)
+            .build();
+        let end = sys.run_until_finished(10_000_000).unwrap();
+        assert!(end > 0);
+        assert!(sys.ipc(0) > 0.0);
+        assert!(sys.ipc(1) > 0.0);
+        // Both cores' misses reached DRAM.
+        let s = sys.memory().stats();
+        assert!(s.domain(dg_sim::types::DomainId(0)).reads >= 200);
+        assert!(s.domain(dg_sim::types::DomainId(1)).reads >= 200);
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        let cfg = SystemConfig::two_core();
+        let alone_end = {
+            let mut sys = SystemBuilder::new(cfg.clone())
+                .trace_core(small_trace(400, 0))
+                .memory(MemoryKind::Insecure)
+                .build();
+            sys.run_until_finished(10_000_000).unwrap()
+        };
+        let contended_end = {
+            let mut sys = SystemBuilder::new(cfg)
+                .trace_core(small_trace(400, 0))
+                .trace_core(small_trace(4000, 1 << 30))
+                .memory(MemoryKind::Insecure)
+                .build();
+            sys.run_until_core_finished(0, 50_000_000).unwrap()
+        };
+        assert!(
+            contended_end > alone_end,
+            "co-runner must slow the victim: {contended_end} vs {alone_end}"
+        );
+    }
+
+    #[test]
+    fn deadline_error_when_budget_too_small() {
+        let cfg = SystemConfig::two_core();
+        let mut sys = SystemBuilder::new(cfg)
+            .trace_core(small_trace(100, 0))
+            .memory(MemoryKind::Insecure)
+            .build();
+        assert!(sys.run_until_finished(10).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! The §5.3 verification recipe: bounded model checking (base step) and
+//! k-induction (induction step), by exhaustive enumeration.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{run, ModelConfig, Req, State};
+
+/// A concrete violation of the indistinguishability property.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Starting state of the first run.
+    pub state_a: State,
+    /// Starting state of the second run.
+    pub state_b: State,
+    /// Transmitter inputs of the first run.
+    pub tx_a: Vec<Req>,
+    /// Transmitter inputs of the second run.
+    pub tx_b: Vec<Req>,
+    /// Shared receiver inputs.
+    pub rx: Vec<Req>,
+    /// First cycle at which the receiver traces differ.
+    pub diverge_at: usize,
+}
+
+/// Which starting states the induction step quantifies over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateScope {
+    /// Arbitrary state pairs, as written in the paper's formula. For a
+    /// contending FCFS controller this is stronger than the property that
+    /// actually holds: two states whose transmitter-service *phases*
+    /// differ are silently distinguishable by a probe placed right at the
+    /// horizon, so expect counterexamples at small k and use this scope to
+    /// study where they appear.
+    AllPairs,
+    /// Pairs that agree on the receiver-visible projection (shaper
+    /// schedule state, MC queue, bank service) and differ only in the
+    /// transmitter's private queue — the standard observable-equivalence
+    /// strengthening. Combined with [`crate::unwinding::check_unwinding`]
+    /// (which proves the projection is preserved), this discharges the
+    /// full property.
+    ProjectionEqual,
+}
+
+/// Enumerates all input traces of length `n` over {none, bank0, bank1}.
+fn input_traces(n: usize) -> Vec<Vec<Req>> {
+    let opts: [Req; 3] = [None, Some(false), Some(true)];
+    let mut out: Vec<Vec<Req>> = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(out.len() * 3);
+        for t in &out {
+            for o in opts {
+                let mut t2 = t.clone();
+                t2.push(o);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// **Base step**: bounded model checking of `P(S_reset, k)` — for every
+/// pair of transmitter traces and every receiver trace of length `k`, the
+/// receiver's response traces from reset must coincide.
+///
+/// Complexity is tamed by grouping: for each receiver trace, simulate all
+/// transmitter traces once and demand a single common output; this covers
+/// all `(ReqTx, ReqTx')` pairs without enumerating pairs.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+pub fn check_base(cfg: &ModelConfig, k: usize) -> Result<(), Box<Counterexample>> {
+    let txs = input_traces(k);
+    let rxs = input_traces(k);
+    for rx in &rxs {
+        let mut witness: Option<(&Vec<Req>, Vec<[bool; 2]>)> = None;
+        for tx in &txs {
+            let out = run(cfg, State::reset(), tx, rx);
+            match &witness {
+                None => witness = Some((tx, out)),
+                Some((tx0, out0)) => {
+                    if out != *out0 {
+                        let diverge_at = out0
+                            .iter()
+                            .zip(&out)
+                            .position(|(a, b)| a != b)
+                            .expect("traces differ");
+                        return Err(Box::new(Counterexample {
+                            state_a: State::reset(),
+                            state_b: State::reset(),
+                            tx_a: (*tx0).clone(),
+                            tx_b: tx.clone(),
+                            rx: rx.clone(),
+                            diverge_at,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Induction step**: for starting-state pairs in `scope` and all inputs
+/// of length `k+1`, if the receiver traces agree on the first `k` cycles
+/// they must agree on cycle `k`.
+///
+/// Implemented with the bucket trick: every `(state, ReqTx)` run is keyed
+/// by `(bucket key, ReqRx, prefix)`; all runs in a bucket must agree on
+/// the final observation, which covers all pairs in the scope at once.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found (two runs in one bucket
+/// disagreeing at cycle `k`).
+pub fn check_induction(
+    cfg: &ModelConfig,
+    k: usize,
+    scope: StateScope,
+) -> Result<(), Box<Counterexample>> {
+    let states = State::enumerate(cfg);
+    let txs = input_traces(k + 1);
+    let rxs = input_traces(k + 1);
+
+    /// Bucket key: (scope key, output prefix); value: one witness run.
+    type BucketKey = (u64, Vec<[bool; 2]>);
+    type Witness<'a> = (State, &'a Vec<Req>, [bool; 2]);
+    for rx in &rxs {
+        let mut buckets: HashMap<BucketKey, Witness<'_>> = HashMap::new();
+        for s in &states {
+            let scope_key = match scope {
+                StateScope::AllPairs => 0u64,
+                StateScope::ProjectionEqual => {
+                    // Hash the projection into the key so only
+                    // projection-equal states share a bucket.
+                    use std::collections::hash_map::DefaultHasher;
+                    use std::hash::{Hash, Hasher};
+                    let mut h = DefaultHasher::new();
+                    s.projection().hash(&mut h);
+                    h.finish()
+                }
+            };
+            for tx in &txs {
+                let out = run(cfg, *s, tx, rx);
+                let (prefix, last) = (out[..k].to_vec(), out[k]);
+                match buckets.get(&(scope_key, prefix.clone())) {
+                    None => {
+                        buckets.insert((scope_key, prefix), (*s, tx, last));
+                    }
+                    Some((s0, tx0, last0)) => {
+                        if *last0 != last {
+                            return Err(Box::new(Counterexample {
+                                state_a: *s0,
+                                state_b: *s,
+                                tx_a: (*tx0).clone(),
+                                tx_b: tx.clone(),
+                                rx: rx.clone(),
+                                diverge_at: k,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Searches for the minimal `k` (up to `max_k`) at which both the base
+/// and the induction step succeed, mirroring the paper's "incrementing the
+/// value of k until the induction step succeeds".
+///
+/// Returns `Some(k)` on success, `None` if no `k ≤ max_k` works.
+pub fn minimal_k(cfg: &ModelConfig, scope: StateScope, max_k: usize) -> Option<usize> {
+    (1..=max_k).find(|&k| check_base(cfg, k).is_ok() && check_induction(cfg, k, scope).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ShaperKind;
+
+    #[test]
+    fn base_step_passes_for_dagguise() {
+        let cfg = ModelConfig::paper(ShaperKind::Dagguise);
+        for k in 1..=5 {
+            assert!(check_base(&cfg, k).is_ok(), "base step failed at k={k}");
+        }
+    }
+
+    #[test]
+    fn base_step_catches_leaky_shaper() {
+        let cfg = ModelConfig::paper(ShaperKind::LeakyForwarding);
+        let mut found = false;
+        for k in 1..=6 {
+            if let Err(cex) = check_base(&cfg, k) {
+                // The counterexample must be genuine: replay it.
+                let a = run(&cfg, cex.state_a, &cex.tx_a, &cex.rx);
+                let b = run(&cfg, cex.state_b, &cex.tx_b, &cex.rx);
+                assert_ne!(a, b);
+                assert_eq!(a[..cex.diverge_at], b[..cex.diverge_at]);
+                assert_ne!(a[cex.diverge_at], b[cex.diverge_at]);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "BMC must expose the leaky shaper");
+    }
+
+    #[test]
+    fn induction_passes_with_projection_strengthening() {
+        let cfg = ModelConfig::tiny(ShaperKind::Dagguise);
+        assert!(check_induction(&cfg, 1, StateScope::ProjectionEqual).is_ok());
+        assert!(check_induction(&cfg, 2, StateScope::ProjectionEqual).is_ok());
+    }
+
+    #[test]
+    fn induction_all_pairs_finds_phase_counterexample() {
+        // Arbitrary state pairs include transmitter-service phases the
+        // receiver has not yet probed; a probe at the horizon separates
+        // them, so the unstrengthened induction step fails at small k —
+        // the same "k too small → counterexample" behaviour as the
+        // paper's artifact (C.4).
+        let cfg = ModelConfig::tiny(ShaperKind::Dagguise);
+        let r = check_induction(&cfg, 1, StateScope::AllPairs);
+        if let Err(cex) = r {
+            let a = run(&cfg, cex.state_a, &cex.tx_a, &cex.rx);
+            let b = run(&cfg, cex.state_b, &cex.tx_b, &cex.rx);
+            assert_eq!(a[..1], b[..1]);
+            assert_ne!(a[1], b[1]);
+        }
+        // (If it passes, minimal_k below documents the bound instead.)
+    }
+
+    #[test]
+    fn leaky_shaper_fails_even_strengthened_induction() {
+        // A saturating chain (weight 0) with two MC slots surfaces the
+        // forwarded victim bank within two cycles of receiver probing.
+        let cfg = ModelConfig {
+            weight: 0,
+            queue_cap: 1,
+            latency: 1,
+            mc_cap: 2,
+            shaper: ShaperKind::LeakyForwarding,
+        };
+        let mut failed = false;
+        for k in 1..=3 {
+            if check_induction(&cfg, k, StateScope::ProjectionEqual).is_err()
+                || check_base(&cfg, k).is_err()
+            {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "leaky shaper must not verify");
+    }
+
+    #[test]
+    fn minimal_k_exists_for_dagguise() {
+        let cfg = ModelConfig::tiny(ShaperKind::Dagguise);
+        let k = minimal_k(&cfg, StateScope::ProjectionEqual, 3);
+        assert!(k.is_some(), "a minimal k must exist");
+    }
+
+    #[test]
+    fn input_trace_enumeration() {
+        assert_eq!(input_traces(0).len(), 1);
+        assert_eq!(input_traces(1).len(), 3);
+        assert_eq!(input_traces(3).len(), 27);
+    }
+}

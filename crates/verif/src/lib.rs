@@ -1,0 +1,35 @@
+//! Mechanical security verification of DAGguise (the Rosette substitute).
+//!
+//! The paper (§5) models a simplified DAGguise system — a request shaper
+//! with a strictly-dependent defense rDAG in front of an FCFS memory
+//! controller with constant latency — and verifies with Rosette + an SMT
+//! solver that the receiver's response trace is independent of the
+//! transmitter's request trace, using k-induction.
+//!
+//! This crate rebuilds that verification with exhaustive enumeration in
+//! place of SMT. The domains are deliberately finite (valid-bit × bank-bit
+//! inputs, bounded queues and counters), so enumeration discharges the
+//! same proof obligations exactly:
+//!
+//! * [`model`] — the transition system: shaper + 2-bank FCFS controller.
+//!   Two shaper variants are modeled: the DAGguise shaper (emission
+//!   schedule and banks come from the defense rDAG alone) and a *leaky*
+//!   strawman that forwards the victim's own bank, which the checker must
+//!   — and does — catch.
+//! * [`kinduction`] — the paper's recipe: a bounded-model-checking *base
+//!   step* from the reset state, and an *induction step* over enumerated
+//!   starting states. As in the paper, too small a k yields a
+//!   counterexample, and the minimal passing k is reported.
+//! * [`unwinding`] — a strictly stronger one-shot proof: the
+//!   receiver-visible projection of the state evolves as a function of
+//!   itself and the receiver's inputs only (an unwinding/simulation
+//!   argument). This is checked exhaustively over all states × inputs and
+//!   implies the indistinguishability property for *all* horizons at once.
+
+pub mod kinduction;
+pub mod model;
+pub mod unwinding;
+
+pub use kinduction::{check_base, check_induction, minimal_k, Counterexample, StateScope};
+pub use model::{ModelConfig, ShaperKind, State, StepOutput};
+pub use unwinding::check_unwinding;

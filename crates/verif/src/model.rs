@@ -1,0 +1,475 @@
+//! The simplified DAGguise transition system of §5.1.
+//!
+//! The system is a shaper followed by an FCFS memory controller with
+//! constant per-bank service latency, over two banks. Inputs per cycle are
+//! the transmitter's and receiver's request vectors — `Option<bank>`, i.e.
+//! a valid bit and a bank ID bit, exactly the `(valid_i, bankID_i)`
+//! encoding of the paper. The receiver-visible output per cycle is which
+//! banks completed one of *its* requests.
+//!
+//! Everything is deliberately small and `Copy` so the checkers in
+//! [`crate::kinduction`] and [`crate::unwinding`] can enumerate the entire
+//! state space.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported MC transaction-queue capacity.
+pub const MAX_MC_CAP: usize = 4;
+/// Maximum supported shaper private-queue capacity.
+pub const MAX_QUEUE_CAP: usize = 4;
+
+/// A request input: `None` = no request this cycle, `Some(bank)` = a
+/// request to one of the two banks.
+pub type Req = Option<bool>;
+
+/// Which shaper the model runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShaperKind {
+    /// The DAGguise shaper: emission times and banks come from the defense
+    /// rDAG (a strictly-dependent alternating-bank chain); the private
+    /// queue only selects the invisible payload.
+    Dagguise,
+    /// A deliberately broken strawman that forwards the *victim's own*
+    /// bank when a request is queued (the Camouflage failure mode). The
+    /// checkers must find counterexamples against this one.
+    LeakyForwarding,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Defense rDAG edge weight (cycles between a completion and the next
+    /// prescribed emission).
+    pub weight: u8,
+    /// Shaper private queue capacity.
+    pub queue_cap: u8,
+    /// Constant per-bank service latency (the paper uses 2).
+    pub latency: u8,
+    /// MC transaction queue capacity.
+    pub mc_cap: u8,
+    /// Which shaper to model.
+    pub shaper: ShaperKind,
+}
+
+impl ModelConfig {
+    /// The configuration mirroring the paper's §5 model: latency 2, a
+    /// strict-chain defense rDAG.
+    pub fn paper(shaper: ShaperKind) -> Self {
+        Self {
+            weight: 1,
+            queue_cap: 2,
+            latency: 2,
+            mc_cap: 2,
+            shaper,
+        }
+    }
+
+    /// A minimal configuration for fast exhaustive induction sweeps.
+    pub fn tiny(shaper: ShaperKind) -> Self {
+        Self {
+            weight: 1,
+            queue_cap: 1,
+            latency: 1,
+            mc_cap: 1,
+            shaper,
+        }
+    }
+
+    fn check(&self) {
+        assert!(self.mc_cap as usize <= MAX_MC_CAP, "mc_cap too large");
+        assert!(self.queue_cap as usize <= MAX_QUEUE_CAP, "queue_cap too large");
+        assert!(self.latency >= 1, "latency must be at least 1");
+    }
+}
+
+/// An MC transaction-queue entry: owner (true = transmitter/shaper) and
+/// bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct McEntry {
+    /// True when the entry belongs to the shaper (transmitter side).
+    pub from_tx: bool,
+    /// Target bank.
+    pub bank: bool,
+}
+
+/// The receiver-visible projection of a [`State`]: per-bank service,
+/// the MC queue, and the shaper's schedule state — everything except the
+/// shaper's private queue contents.
+pub type Projection = (
+    [Option<(bool, u8)>; 2],
+    [McEntry; MAX_MC_CAP],
+    u8,
+    bool,
+    u8,
+    bool,
+);
+
+/// The complete system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct State {
+    /// Shaper: a request is in flight (the strict chain allows one).
+    pub waiting: bool,
+    /// Shaper: cycles until the next prescribed emission (when not
+    /// waiting).
+    pub counter: u8,
+    /// Shaper: bank of the next rDAG vertex (the chain alternates banks).
+    pub vertex: bool,
+    /// Shaper private queue: bank bits of buffered victim requests
+    /// (index 0 = front).
+    pub queue: [bool; MAX_QUEUE_CAP],
+    /// Shaper private queue occupancy.
+    pub queue_len: u8,
+    /// MC transaction queue (index 0 = oldest).
+    pub mcq: [McEntry; MAX_MC_CAP],
+    /// MC queue occupancy.
+    pub mcq_len: u8,
+    /// Per-bank service: `Some((from_tx, remaining))`.
+    pub service: [Option<(bool, u8)>; 2],
+}
+
+impl State {
+    /// The reset state.
+    pub fn reset() -> Self {
+        Self {
+            waiting: false,
+            counter: 0,
+            vertex: false,
+            queue: [false; MAX_QUEUE_CAP],
+            queue_len: 0,
+            mcq: [McEntry::default(); MAX_MC_CAP],
+            mcq_len: 0,
+            service: [None; 2],
+        }
+    }
+
+    /// The receiver-visible projection: everything except the shaper's
+    /// private queue contents. The unwinding proof shows the projection's
+    /// evolution and the receiver's outputs depend only on this projection
+    /// and the receiver's own inputs.
+    pub fn projection(&self) -> Projection {
+        (
+            self.service,
+            self.mcq,
+            self.mcq_len,
+            self.waiting,
+            self.counter,
+            self.vertex,
+        )
+    }
+
+    /// Enumerates every state within the configuration's bounds (reachable
+    /// or not — k-induction quantifies over arbitrary states).
+    pub fn enumerate(cfg: &ModelConfig) -> Vec<State> {
+        cfg.check();
+        let mut out = Vec::new();
+        let service_opts = |latency: u8| -> Vec<Option<(bool, u8)>> {
+            let mut v = vec![None];
+            for from_tx in [false, true] {
+                for rem in 1..=latency {
+                    v.push(Some((from_tx, rem)));
+                }
+            }
+            v
+        };
+        let svc = service_opts(cfg.latency);
+        for waiting in [false, true] {
+            for counter in 0..=cfg.weight {
+                for vertex in [false, true] {
+                    for queue_len in 0..=cfg.queue_cap {
+                        for qbits in 0..(1u32 << queue_len) {
+                            for mcq_len in 0..=cfg.mc_cap {
+                                for mbits in 0..(1u32 << (2 * mcq_len)) {
+                                    for s0 in &svc {
+                                        for s1 in &svc {
+                                            let mut st = State::reset();
+                                            st.waiting = waiting;
+                                            st.counter = counter;
+                                            st.vertex = vertex;
+                                            st.queue_len = queue_len;
+                                            for i in 0..queue_len as usize {
+                                                st.queue[i] = (qbits >> i) & 1 == 1;
+                                            }
+                                            st.mcq_len = mcq_len;
+                                            for i in 0..mcq_len as usize {
+                                                st.mcq[i] = McEntry {
+                                                    from_tx: (mbits >> (2 * i)) & 1 == 1,
+                                                    bank: (mbits >> (2 * i + 1)) & 1 == 1,
+                                                };
+                                            }
+                                            st.service = [*s0, *s1];
+                                            out.push(st);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn mcq_push(&mut self, e: McEntry, cap: u8) -> bool {
+        if self.mcq_len >= cap {
+            return false;
+        }
+        self.mcq[self.mcq_len as usize] = e;
+        self.mcq_len += 1;
+        true
+    }
+
+    fn mcq_pop_first_bank(&mut self, bank: bool) -> Option<McEntry> {
+        let len = self.mcq_len as usize;
+        let idx = (0..len).find(|&i| self.mcq[i].bank == bank)?;
+        let e = self.mcq[idx];
+        for i in idx..len - 1 {
+            self.mcq[i] = self.mcq[i + 1];
+        }
+        self.mcq_len -= 1;
+        self.mcq[self.mcq_len as usize] = McEntry::default();
+        Some(e)
+    }
+
+    fn queue_pop_front(&mut self) -> Option<bool> {
+        if self.queue_len == 0 {
+            return None;
+        }
+        let b = self.queue[0];
+        for i in 0..self.queue_len as usize - 1 {
+            self.queue[i] = self.queue[i + 1];
+        }
+        self.queue_len -= 1;
+        self.queue[self.queue_len as usize] = false;
+        Some(b)
+    }
+
+    fn queue_pop_matching(&mut self, bank: bool) -> Option<bool> {
+        let len = self.queue_len as usize;
+        let idx = (0..len).find(|&i| self.queue[i] == bank)?;
+        let b = self.queue[idx];
+        for i in idx..len - 1 {
+            self.queue[i] = self.queue[i + 1];
+        }
+        self.queue_len -= 1;
+        self.queue[self.queue_len as usize] = false;
+        Some(b)
+    }
+}
+
+/// Per-cycle outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct StepOutput {
+    /// Receiver completions this cycle, per bank — the trace the security
+    /// property constrains.
+    pub resp_rx: [bool; 2],
+    /// Transmitter-side completions (not part of the property).
+    pub resp_tx: [bool; 2],
+}
+
+/// Advances the system one cycle.
+pub fn step(cfg: &ModelConfig, s: &mut State, req_tx: Req, req_rx: Req) -> StepOutput {
+    let mut out = StepOutput::default();
+
+    // 1. Service progress and completions.
+    for bank in 0..2 {
+        if let Some((from_tx, rem)) = s.service[bank] {
+            let rem = rem - 1;
+            if rem == 0 {
+                s.service[bank] = None;
+                if from_tx {
+                    out.resp_tx[bank] = true;
+                    // The chain's next vertex becomes due `weight` cycles
+                    // after this completion.
+                    s.waiting = false;
+                    s.counter = cfg.weight;
+                } else {
+                    out.resp_rx[bank] = true;
+                }
+            } else {
+                s.service[bank] = Some((from_tx, rem));
+            }
+        }
+    }
+
+    // 2. Receiver request enters the MC queue (dropped when full — the
+    //    receiver sees its own drop through the missing response, and the
+    //    occupancy causing it is independent of the transmitter's secret).
+    if let Some(bank) = req_rx {
+        s.mcq_push(McEntry { from_tx: false, bank }, cfg.mc_cap);
+    }
+
+    // 3. Transmitter request enters the shaper's private queue
+    //    (back-pressure drop at capacity; invisible outside the domain).
+    if let Some(bank) = req_tx {
+        if s.queue_len < cfg.queue_cap {
+            s.queue[s.queue_len as usize] = bank;
+            s.queue_len += 1;
+        }
+    }
+
+    // 4. Shaper emission, as prescribed by the defense rDAG.
+    if !s.waiting {
+        if s.counter > 0 {
+            s.counter -= 1;
+        } else if s.mcq_len < cfg.mc_cap {
+            let bank = match cfg.shaper {
+                ShaperKind::Dagguise => {
+                    // Bank comes from the rDAG vertex; a matching queued
+                    // victim request is consumed invisibly.
+                    let b = s.vertex;
+                    let _ = s.queue_pop_matching(b);
+                    b
+                }
+                ShaperKind::LeakyForwarding => {
+                    // Broken: the victim's own bank escapes to the MC.
+                    s.queue_pop_front().unwrap_or(s.vertex)
+                }
+            };
+            s.mcq_push(McEntry { from_tx: true, bank }, cfg.mc_cap);
+            s.waiting = true;
+            s.vertex = !s.vertex;
+        }
+        // MC queue full: the emission stays due (stall), which depends
+        // only on receiver-visible congestion.
+    }
+
+    // 5. Issue to idle banks, FCFS per bank.
+    for bank in [false, true] {
+        let idx = usize::from(bank);
+        if s.service[idx].is_none() {
+            if let Some(e) = s.mcq_pop_first_bank(bank) {
+                s.service[idx] = Some((e.from_tx, cfg.latency));
+            }
+        }
+    }
+
+    out
+}
+
+/// Simulates `inputs` cycles from `start`, returning the receiver trace.
+pub fn run(cfg: &ModelConfig, start: State, tx: &[Req], rx: &[Req]) -> Vec<[bool; 2]> {
+    assert_eq!(tx.len(), rx.len(), "input traces must align");
+    let mut s = start;
+    tx.iter()
+        .zip(rx)
+        .map(|(&t, &r)| step(cfg, &mut s, t, r).resp_rx)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::paper(ShaperKind::Dagguise)
+    }
+
+    #[test]
+    fn reset_then_shaper_emits_fake_chain() {
+        let c = cfg();
+        let mut s = State::reset();
+        // Cycle 0: counter 0 → emit a fake to bank 0 (vertex), issue.
+        let o = step(&c, &mut s, None, None);
+        assert_eq!(o.resp_rx, [false, false]);
+        assert!(s.waiting);
+        assert_eq!(s.service[0], Some((true, 2)));
+        // Cycle 1: service progresses.
+        step(&c, &mut s, None, None);
+        assert_eq!(s.service[0], Some((true, 1)));
+        // Cycle 2: tx completion; the counter reloads to the weight and is
+        // consumed the same cycle, so the next emission lands exactly
+        // `weight` cycles after the completion.
+        let o = step(&c, &mut s, None, None);
+        assert_eq!(o.resp_tx, [true, false]);
+        assert!(!s.waiting);
+        assert_eq!(s.counter, 0);
+        // Cycle 3 (= completion + weight): the chain emits its next vertex,
+        // alternated to bank 1.
+        step(&c, &mut s, None, None);
+        assert!(s.waiting);
+        assert_eq!(s.service[1], Some((true, 2)));
+    }
+
+    #[test]
+    fn rx_request_gets_served() {
+        let c = cfg();
+        let mut s = State::reset();
+        let outs = run(&c, s, &[None; 8], &[Some(true), None, None, None, None, None, None, None]);
+        // The rx request to bank 1 is served in parallel with the shaper's
+        // bank-0 fake: completes after latency 2 (entered at cycle 0,
+        // issued same cycle, completes on cycle 2).
+        assert!(outs.iter().any(|o| o[1]), "{outs:?}");
+        let _ = &mut s;
+    }
+
+    #[test]
+    fn banks_serve_in_parallel() {
+        let c = cfg();
+        let s = State::reset();
+        // rx hits bank 1 while the shaper chain occupies bank 0.
+        let rx: Vec<Req> = vec![Some(true); 8];
+        let outs = run(&c, s, &[None; 8], &rx);
+        let rx_completions: usize = outs.iter().filter(|o| o[1]).count();
+        assert!(rx_completions >= 3, "bank parallelism: {outs:?}");
+    }
+
+    #[test]
+    fn enumeration_counts_and_contains_reset() {
+        let c = ModelConfig::tiny(ShaperKind::Dagguise);
+        let states = State::enumerate(&c);
+        // waiting(2) × counter(2) × vertex(2) × queue(1+2) × mcq(1+4) ×
+        // service(3each → 9) = 2*2*2*3*5*9 = 1080.
+        assert_eq!(states.len(), 1080);
+        assert!(states.contains(&State::reset()));
+        // All distinct.
+        let set: std::collections::HashSet<_> = states.iter().collect();
+        assert_eq!(set.len(), states.len());
+    }
+
+    #[test]
+    fn dagguise_output_independent_of_tx_inputs_smoke() {
+        let c = cfg();
+        let rx: Vec<Req> = vec![Some(false), None, Some(true), None, Some(false), None, None, None];
+        let quiet = run(&c, State::reset(), &[None; 8], &rx);
+        let busy_tx: Vec<Req> = vec![Some(true); 8];
+        let busy = run(&c, State::reset(), &busy_tx, &rx);
+        assert_eq!(quiet, busy, "receiver trace must not depend on tx");
+    }
+
+    #[test]
+    fn leaky_shaper_leaks_smoke() {
+        let c = ModelConfig::paper(ShaperKind::LeakyForwarding);
+        let rx: Vec<Req> = vec![Some(false); 10];
+        let tx_a: Vec<Req> = vec![Some(false); 10]; // victim hammers bank 0
+        let tx_b: Vec<Req> = vec![Some(true); 10]; // victim hammers bank 1
+        let a = run(&c, State::reset(), &tx_a, &rx);
+        let b = run(&c, State::reset(), &tx_b, &rx);
+        assert_ne!(a, b, "the strawman must leak the victim's bank");
+    }
+
+    #[test]
+    fn queue_helpers() {
+        let mut s = State::reset();
+        s.queue = [true, false, true, false];
+        s.queue_len = 3;
+        assert_eq!(s.queue_pop_matching(false), Some(false));
+        assert_eq!(s.queue_len, 2);
+        assert_eq!(s.queue[0], true);
+        assert_eq!(s.queue[1], true);
+        assert_eq!(s.queue_pop_front(), Some(true));
+        assert_eq!(s.queue_pop_matching(false), None);
+    }
+
+    #[test]
+    fn mcq_fcfs_per_bank() {
+        let mut s = State::reset();
+        let c = cfg();
+        assert!(s.mcq_push(McEntry { from_tx: false, bank: true }, c.mc_cap));
+        assert!(s.mcq_push(McEntry { from_tx: true, bank: false }, c.mc_cap));
+        assert!(!s.mcq_push(McEntry { from_tx: true, bank: false }, c.mc_cap));
+        let e = s.mcq_pop_first_bank(false).unwrap();
+        assert!(e.from_tx);
+        assert_eq!(s.mcq_len, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Victim and co-runner workloads.
+//!
+//! The paper evaluates DAGguise with two security-sensitive victims whose
+//! memory access patterns depend on private inputs (§6.1):
+//!
+//! * [`docdist`] — **Document Distance**: computes the euclidean distance
+//!   between feature vectors of a private input document and a public
+//!   reference. The hash-indexed accesses into the feature vector leak the
+//!   input's word distribution.
+//! * [`dna`] — **DNA sequence matching** (mrsFAST-style): substrings of a
+//!   public genome live in a hash table; aligning a *private* read probes
+//!   buckets selected by the read's k-mers, leaking the read.
+//!
+//! Both are real (small) implementations of the algorithms, executed
+//! against an [`recorder::AccessRecorder`] that captures every data-array
+//! access into a [`dg_cpu::MemTrace`] for the simulated core to replay.
+//!
+//! Co-runners come from [`spec`]: fifteen synthetic generators named after
+//! the SPEC CPU2017-rate applications used in Figures 9/10, each
+//! parameterised to match the qualitative memory behaviour reported for
+//! that application (memory-bound streaming for `lbm`, compute-bound for
+//! `leela`, …). SPEC itself is proprietary; see DESIGN.md.
+
+pub mod dna;
+pub mod docdist;
+pub mod recorder;
+pub mod spec;
+
+pub use dna::DnaWorkload;
+pub use docdist::DocDistWorkload;
+pub use recorder::AccessRecorder;
+pub use spec::{spec_names, SpecPreset};

@@ -1,0 +1,113 @@
+//! End-to-end attack demo: a probe attacker tries to distinguish two
+//! victim secrets through memory-controller contention, against the
+//! insecure baseline (succeeds), Camouflage (succeeds), DAGguise and
+//! Fixed Service (fails bit-exactly).
+//!
+//! Run with: `cargo run --release --example attack_demo`
+
+use dagguise::{Shaper, ShaperConfig};
+use dagguise_repro::prelude::*;
+use dg_attacks::{distinguishable, LeakVerdict, ProbeCore};
+use dg_cache::SetAssocCache;
+use dg_cpu::TraceCore;
+use dg_defenses::{CamouflageShaper, FixedService, FsConfig, IntervalDistribution};
+use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory};
+
+#[derive(Clone, Copy)]
+enum Defense {
+    Insecure,
+    Camouflage,
+    Dagguise,
+    FsBta,
+}
+
+/// Runs the DocDist victim (chosen secret) on core 0 and the probe
+/// attacker on core 1; returns the attacker's ordered latency trace.
+fn observe(secret: u64, defense: Defense) -> Vec<u64> {
+    let mut cfg = SystemConfig::two_core();
+    if !matches!(defense, Defense::Insecure) {
+        cfg.row_policy = dg_sim::config::RowPolicy::Closed;
+    }
+    let victim_trace = dg_workloads::DocDistWorkload::small(secret).record().0;
+    let mut victim = TraceCore::new(DomainId(0), victim_trace, &cfg);
+    let mut attacker = ProbeCore::new(DomainId(1), 0x40, 120, 300);
+    let mut l3 = SetAssocCache::new(cfg.cache.l3_per_core, "L3");
+
+    let mut mem: Box<dyn MemorySubsystem> = match defense {
+        Defense::Insecure => Box::new(MemoryController::new(&cfg, SchedPolicy::FrFcfs)),
+        Defense::FsBta => {
+            let fs = FsConfig::fs_bta(&cfg, 2);
+            Box::new(FixedService::new(&cfg, fs))
+        }
+        Defense::Camouflage => {
+            let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+            let shapers: Vec<Box<dyn DomainShaper>> = vec![
+                Box::new(CamouflageShaper::new(
+                    DomainId(0),
+                    IntervalDistribution::new(vec![150, 300]),
+                    &cfg,
+                    42,
+                )),
+                Box::new(PassThrough::new(DomainId(1), 32)),
+            ];
+            Box::new(ShapedMemory::new(mc, shapers))
+        }
+        Defense::Dagguise => {
+            let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+            let shapers: Vec<Box<dyn DomainShaper>> = vec![
+                Box::new(Shaper::new(ShaperConfig::from_system(
+                    DomainId(0),
+                    RdagTemplate::new(4, 50, 0.25),
+                    &cfg,
+                ))),
+                Box::new(PassThrough::new(DomainId(1), 32)),
+            ];
+            Box::new(ShapedMemory::new(mc, shapers))
+        }
+    };
+
+    use dg_cpu::Core as _;
+    let mut now = 0u64;
+    while !attacker.finished() && now < 2_000_000_000 {
+        for resp in mem.tick(now) {
+            match resp.domain {
+                DomainId(0) => victim.on_response(&resp, now),
+                DomainId(1) => attacker.on_response(&resp, now),
+                _ => {}
+            }
+        }
+        victim.tick(now, &mut l3, mem.as_mut());
+        attacker.tick(now, &mut l3, mem.as_mut());
+        now += 1;
+    }
+    attacker.latencies()
+}
+
+fn verdict(defense: Defense, name: &str) {
+    let a = observe(0, defense);
+    let b = observe(1, defense);
+    match distinguishable(&a, &b) {
+        LeakVerdict::Indistinguishable => {
+            println!("{name:>10}: attacker latency traces IDENTICAL across secrets — no leak")
+        }
+        LeakVerdict::Distinguishable { mean_abs_diff } => println!(
+            "{name:>10}: attacker latency traces DIFFER (mean |Δ| = {mean_abs_diff:.2} cycles) — secret leaks"
+        ),
+    }
+}
+
+fn main() {
+    println!("Attacker: fixed-pattern probe to one bank, 300 probes, 120-cycle think time.");
+    println!("Victim:   DocDist computing over a private document (secret 0 vs secret 1).\n");
+
+    verdict(Defense::Insecure, "insecure");
+    verdict(Defense::Camouflage, "camouflage");
+    verdict(Defense::Dagguise, "dagguise");
+    verdict(Defense::FsBta, "fs-bta");
+
+    println!(
+        "\nDAGguise and Fixed Service close the channel; the insecure \
+         baseline and Camouflage leak the secret through the attacker's \
+         own request latencies."
+    );
+}

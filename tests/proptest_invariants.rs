@@ -1,0 +1,213 @@
+//! Property-based tests over the core data structures and the security
+//! invariant, using proptest.
+
+use proptest::prelude::*;
+
+use dagguise::{Shaper, ShaperConfig};
+use dagguise_repro::prelude::*;
+use dg_dram::{AddressMapper, MapScheme, PhysLoc};
+use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, SchedPolicy};
+use dg_rdag::graph::{Rdag, Vertex};
+use dg_rdag::template::RdagTemplate;
+use dg_sim::clock::ClockRatio;
+use dg_sim::config::RowPolicy;
+use dg_sim::types::{ReqId, ReqKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address mapping is a bijection on line-aligned addresses.
+    #[test]
+    fn address_mapping_round_trips(
+        addr in (0u64..1u64 << 32).prop_map(|a| a & !63),
+        interleaved in any::<bool>(),
+    ) {
+        let scheme = if interleaved { MapScheme::BankInterleaved } else { MapScheme::RowBankCol };
+        let m = AddressMapper::new(scheme, 8, 8192, 64);
+        let loc = m.decode(addr);
+        prop_assert_eq!(m.encode(loc), addr);
+        prop_assert!(loc.bank < 8);
+        prop_assert!(loc.col < 128);
+    }
+
+    /// Fake-address generation always lands in the prescribed bank.
+    #[test]
+    fn encode_respects_bank(bank in 0u32..8, row in 0u64..65536, col in 0u64..128) {
+        let m = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+        let addr = m.encode(PhysLoc { bank, row, col });
+        prop_assert_eq!(m.decode(addr).bank, bank);
+    }
+
+    /// Random DAGs built bottom-up (edges only to later vertices) always
+    /// validate, and the ideal schedule respects every edge.
+    #[test]
+    fn random_dag_schedules_respect_dependencies(
+        n in 2usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30, 1u64..500), 1..60),
+        service in 1u64..200,
+    ) {
+        let mut g = Rdag::new();
+        for i in 0..n {
+            g.add_vertex(Vertex { bank: (i % 8) as u32, req_type: ReqType::Read });
+        }
+        let mut used = Vec::new();
+        for (a, b, w) in edges {
+            let (a, b) = (a % n, b % n);
+            if a < b {
+                g.add_edge(
+                    dg_rdag::graph::VertexId(a as u32),
+                    dg_rdag::graph::VertexId(b as u32),
+                    w,
+                ).expect("forward edge is valid");
+                used.push((a, b, w));
+            }
+        }
+        prop_assert!(g.validate().is_ok());
+        let sched = g.ideal_schedule(service).expect("acyclic");
+        for (a, b, w) in used {
+            prop_assert!(sched[b] >= sched[a] + service + w);
+        }
+    }
+
+    /// The shaper's emission schedule (times, banks, types) is a pure
+    /// function of the defense rDAG and response timing — independent of
+    /// whatever the victim enqueues.
+    #[test]
+    fn shaper_schedule_independent_of_victim(
+        seqs in prop::sample::select(vec![1u32, 2, 4, 8]),
+        weight in prop::sample::select(vec![0u64, 25, 100, 250]),
+        write_ratio in prop::sample::select(vec![0.0f64, 0.1, 0.5]),
+        latency in 20u64..200,
+        victim_addrs in prop::collection::vec(0u64..1u64 << 24, 0..40),
+        victim_period in 1u64..60,
+    ) {
+        let mut cfg = SystemConfig::two_core();
+        cfg.clock_ratio = ClockRatio::new(1);
+        let template = RdagTemplate::new(seqs, weight, write_ratio);
+        let horizon = 4_000u64;
+
+        let run = |inject: bool| -> Vec<(u64, u32, ReqType)> {
+            let mut shaper = Shaper::new(ShaperConfig::from_system(DomainId(0), template, &cfg));
+            let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
+            let mut schedule = Vec::new();
+            let mut in_flight: Vec<(u64, MemRequest)> = Vec::new();
+            let mut k = 0u64;
+            for now in 0..horizon {
+                let mut i = 0;
+                while i < in_flight.len() {
+                    if in_flight[i].0 <= now {
+                        let (when, req) = in_flight.swap_remove(i);
+                        let resp = MemResponse {
+                            id: req.id,
+                            domain: req.domain,
+                            addr: req.addr,
+                            req_type: req.req_type,
+                            kind: req.kind,
+                            arrived_at: when - latency,
+                            completed_at: when,
+                        };
+                        shaper.on_response(&resp, now);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if inject && now % victim_period == 0 && (k as usize) < victim_addrs.len() {
+                    let req = MemRequest::read(DomainId(0), victim_addrs[k as usize] & !63, now)
+                        .with_id(ReqId::compose(DomainId(0), k + 1));
+                    let _ = shaper.try_accept(req, now);
+                    k += 1;
+                }
+                for req in shaper.tick(now, usize::MAX) {
+                    schedule.push((now, mapper.decode(req.addr).bank, req.req_type));
+                    in_flight.push((now + latency, req));
+                }
+            }
+            schedule
+        };
+
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// The memory controller conserves transactions under random traffic:
+    /// everything accepted eventually completes, exactly once.
+    #[test]
+    fn controller_conserves_random_traffic(
+        seed in any::<u64>(),
+        closed in any::<bool>(),
+        fcfs in any::<bool>(),
+        load_period in 1u64..40,
+    ) {
+        let mut cfg = SystemConfig::two_core();
+        cfg.clock_ratio = ClockRatio::new(1);
+        cfg.row_policy = if closed { RowPolicy::Closed } else { RowPolicy::Open };
+        let policy = if fcfs { SchedPolicy::Fcfs } else { SchedPolicy::FrFcfs };
+        let mut mc = MemoryController::new(&cfg, policy);
+        let mut rng = dg_sim::rng::DetRng::new(seed);
+        let mut sent = std::collections::HashSet::new();
+        let mut done = std::collections::HashSet::new();
+        let mut seq = 0u64;
+        let horizon = 40_000u64;
+        for now in 0..horizon {
+            if now % load_period == 0 && mc.free_space() > 0 && seq < 400 {
+                seq += 1;
+                let addr = (rng.next_u64() % (1 << 26)) & !63;
+                let req = if rng.next_bool(0.3) {
+                    MemRequest::write(DomainId(0), addr, now)
+                } else {
+                    MemRequest::read(DomainId(0), addr, now)
+                }
+                .with_id(ReqId(seq));
+                if mc.try_send(req, now).is_ok() {
+                    sent.insert(seq);
+                }
+            }
+            for resp in mc.tick(now) {
+                prop_assert!(done.insert(resp.id.0), "duplicate completion {}", resp.id.0);
+                prop_assert!(resp.completed_at <= now);
+                prop_assert!(resp.latency() > 0);
+            }
+        }
+        // Drain.
+        for now in horizon..horizon + 100_000 {
+            for resp in mc.tick(now) {
+                prop_assert!(done.insert(resp.id.0));
+            }
+            if done.len() == sent.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(done.len(), sent.len(), "every accepted request completes once");
+    }
+
+    /// Fake requests never reach cores: whatever responses escape a shaped
+    /// memory path are real and belong to a real sender.
+    #[test]
+    fn fakes_never_escape_to_cores(seed in any::<u64>()) {
+        use dg_mem::{PassThrough, ShapedMemory};
+        let cfg = SystemConfig::two_core();
+        let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
+        let shapers: Vec<Box<dyn DomainShaper>> = vec![
+            Box::new(Shaper::new(ShaperConfig::from_system(
+                DomainId(0),
+                RdagTemplate::new(4, 25, 0.2),
+                &cfg,
+            ))),
+            Box::new(PassThrough::new(DomainId(1), 16)),
+        ];
+        let mut mem = ShapedMemory::new(mc, shapers);
+        let mut rng = dg_sim::rng::DetRng::new(seed);
+        let mut seq = 0u64;
+        for now in 0..30_000u64 {
+            if rng.next_bool(0.05) {
+                seq += 1;
+                let domain = DomainId((seq % 2) as u16);
+                let req = MemRequest::read(domain, (rng.next_u64() % (1 << 24)) & !63, now)
+                    .with_id(ReqId::compose(domain, seq));
+                let _ = mem.try_send(req, now);
+            }
+            for resp in mem.tick(now) {
+                prop_assert_eq!(resp.kind, ReqKind::Real, "a fake escaped");
+            }
+        }
+    }
+}

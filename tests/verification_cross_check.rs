@@ -1,0 +1,54 @@
+//! Cross-checks between the §5 verification model and the full simulator:
+//! the abstract model's guarantees and failure modes must mirror the real
+//! shaper's.
+
+use dg_verif::{check_base, check_unwinding, ModelConfig, ShaperKind, StateScope};
+
+#[test]
+fn model_base_step_passes_for_dagguise_up_to_k5() {
+    let cfg = ModelConfig::paper(ShaperKind::Dagguise);
+    for k in 1..=5 {
+        assert!(check_base(&cfg, k).is_ok(), "base step failed at k={k}");
+    }
+}
+
+#[test]
+fn model_unwinding_passes_for_dagguise() {
+    assert!(check_unwinding(&ModelConfig::paper(ShaperKind::Dagguise)).is_ok());
+}
+
+#[test]
+fn model_catches_leaky_variant_both_ways() {
+    let leaky = ModelConfig::paper(ShaperKind::LeakyForwarding);
+    // The unwinding condition fails...
+    assert!(check_unwinding(&leaky).is_err());
+    // ...and bounded model checking finds a concrete attack.
+    let found = (1..=6).any(|k| check_base(&leaky, k).is_err());
+    assert!(found, "BMC must find the leak within 6 cycles");
+}
+
+#[test]
+fn model_induction_with_strengthening_holds() {
+    let cfg = ModelConfig::tiny(ShaperKind::Dagguise);
+    for k in 1..=2 {
+        assert!(
+            dg_verif::check_induction(&cfg, k, StateScope::ProjectionEqual).is_ok(),
+            "strengthened induction failed at k={k}"
+        );
+    }
+}
+
+#[test]
+fn model_counterexample_replays_concretely() {
+    // Extract a counterexample against the leaky shaper and replay it
+    // through the model step function to confirm it is genuine (the same
+    // discipline the Rosette artifact applies to its sat results).
+    let leaky = ModelConfig::paper(ShaperKind::LeakyForwarding);
+    let cex = (1..=6)
+        .find_map(|k| check_base(&leaky, k).err())
+        .expect("counterexample exists");
+    let a = dg_verif::model::run(&leaky, cex.state_a, &cex.tx_a, &cex.rx);
+    let b = dg_verif::model::run(&leaky, cex.state_b, &cex.tx_b, &cex.rx);
+    assert_eq!(a[..cex.diverge_at], b[..cex.diverge_at], "prefix agrees");
+    assert_ne!(a[cex.diverge_at], b[cex.diverge_at], "divergence is real");
+}
