@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: the gate every change must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== build (release) ==="
+cargo build --release --workspace
+
+echo "=== tests ==="
+cargo test -q --workspace
+
+echo "=== format ==="
+cargo fmt --all --check
+
+echo "=== clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI passed."

@@ -94,7 +94,8 @@ impl AreaReport {
 /// Computes the area breakdown for a configuration.
 pub fn area_report(cfg: &AreaConfig) -> AreaReport {
     let logic_gates = computation_logic_gates(cfg);
-    let sram_bytes = u64::from(cfg.domains) * u64::from(cfg.queue_entries) * u64::from(cfg.entry_bytes);
+    let sram_bytes =
+        u64::from(cfg.domains) * u64::from(cfg.queue_entries) * u64::from(cfg.entry_bytes);
     AreaReport {
         logic_gates,
         logic_mm2: logic_gates as f64 * UM2_PER_GATE / 1e6,
@@ -128,14 +129,29 @@ mod tests {
         assert_eq!(r.logic_gates, 13_424);
         // Areas within 1% of the published numbers (coefficients are
         // calibrated, so this checks arithmetic, not fit).
-        assert!((r.logic_mm2 - 0.02022).abs() / 0.02022 < 0.01, "{}", r.logic_mm2);
-        assert!((r.sram_mm2 - 0.01705).abs() / 0.01705 < 0.01, "{}", r.sram_mm2);
-        assert!((r.total_mm2() - 0.03727).abs() / 0.03727 < 0.01, "{}", r.total_mm2());
+        assert!(
+            (r.logic_mm2 - 0.02022).abs() / 0.02022 < 0.01,
+            "{}",
+            r.logic_mm2
+        );
+        assert!(
+            (r.sram_mm2 - 0.01705).abs() / 0.01705 < 0.01,
+            "{}",
+            r.sram_mm2
+        );
+        assert!(
+            (r.total_mm2() - 0.03727).abs() / 0.03727 < 0.01,
+            "{}",
+            r.total_mm2()
+        );
     }
 
     #[test]
     fn area_scales_linearly_with_domains() {
-        let one = area_report(&AreaConfig { domains: 1, ..AreaConfig::paper() });
+        let one = area_report(&AreaConfig {
+            domains: 1,
+            ..AreaConfig::paper()
+        });
         let eight = area_report(&AreaConfig::paper());
         assert_eq!(eight.logic_gates, one.logic_gates * 8);
         assert_eq!(eight.sram_bytes, one.sram_bytes * 8);
@@ -143,15 +159,27 @@ mod tests {
 
     #[test]
     fn wider_weights_cost_more_logic() {
-        let narrow = computation_logic_gates(&AreaConfig { weight_bits: 8, ..AreaConfig::paper() });
-        let wide = computation_logic_gates(&AreaConfig { weight_bits: 32, ..AreaConfig::paper() });
+        let narrow = computation_logic_gates(&AreaConfig {
+            weight_bits: 8,
+            ..AreaConfig::paper()
+        });
+        let wide = computation_logic_gates(&AreaConfig {
+            weight_bits: 32,
+            ..AreaConfig::paper()
+        });
         assert!(wide > narrow);
     }
 
     #[test]
     fn deeper_queues_cost_more_sram_only() {
-        let shallow = area_report(&AreaConfig { queue_entries: 4, ..AreaConfig::paper() });
-        let deep = area_report(&AreaConfig { queue_entries: 16, ..AreaConfig::paper() });
+        let shallow = area_report(&AreaConfig {
+            queue_entries: 4,
+            ..AreaConfig::paper()
+        });
+        let deep = area_report(&AreaConfig {
+            queue_entries: 16,
+            ..AreaConfig::paper()
+        });
         assert_eq!(shallow.logic_gates, deep.logic_gates);
         assert_eq!(deep.sram_bytes, shallow.sram_bytes * 4);
         assert!(deep.total_mm2() > shallow.total_mm2());

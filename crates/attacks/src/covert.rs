@@ -138,11 +138,7 @@ pub fn run_covert_channel<M: MemorySubsystem + ?Sized>(
     let median = sorted[sorted.len() / 2];
     let decoded: Vec<bool> = means.iter().map(|&m| m > median).collect();
 
-    let errors = sent
-        .iter()
-        .zip(&decoded)
-        .filter(|(a, b)| a != b)
-        .count();
+    let errors = sent.iter().zip(&decoded).filter(|(a, b)| a != b).count();
     let error_rate = errors as f64 / cfg.bits as f64;
     let raw = clock_hz / cfg.epoch as f64;
     CovertResult {

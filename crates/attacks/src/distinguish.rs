@@ -60,7 +60,11 @@ pub fn mean_abs_diff(a: &[Cycle], b: &[Cycle]) -> f64 {
 pub fn total_variation(a: &[Cycle], b: &[Cycle], bucket: Cycle) -> f64 {
     assert!(bucket > 0, "bucket must be positive");
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
     }
     use std::collections::HashMap;
     let hist = |t: &[Cycle]| {

@@ -161,18 +161,28 @@ pub fn figure1_scenario(cfg: &SystemConfig, scenario: Figure1Scenario) -> Vec<Cy
         cfg.dram_org.row_bytes,
         cfg.dram_org.line_bytes,
     );
-    let attacker_addr = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+    let attacker_addr = mapper.encode(PhysLoc {
+        bank: 0,
+        row: 0,
+        col: 0,
+    });
     let victim_addr = match scenario {
         Figure1Scenario::NoActivity => None,
-        Figure1Scenario::DifferentBank => {
-            Some(mapper.encode(PhysLoc { bank: 4, row: 0, col: 1 }))
-        }
-        Figure1Scenario::SameBankSameRow => {
-            Some(mapper.encode(PhysLoc { bank: 0, row: 0, col: 5 }))
-        }
-        Figure1Scenario::SameBankDifferentRow => {
-            Some(mapper.encode(PhysLoc { bank: 0, row: 7, col: 0 }))
-        }
+        Figure1Scenario::DifferentBank => Some(mapper.encode(PhysLoc {
+            bank: 4,
+            row: 0,
+            col: 1,
+        })),
+        Figure1Scenario::SameBankSameRow => Some(mapper.encode(PhysLoc {
+            bank: 0,
+            row: 0,
+            col: 5,
+        })),
+        Figure1Scenario::SameBankDifferentRow => Some(mapper.encode(PhysLoc {
+            bank: 0,
+            row: 7,
+            col: 0,
+        })),
     };
 
     let think = cfg.clock_ratio.dram_to_cpu(20);
@@ -255,12 +265,24 @@ mod tests {
         let diff_bank = max_of(Figure1Scenario::DifferentBank);
         let same_row = max_of(Figure1Scenario::SameBankSameRow);
         let diff_row = max_of(Figure1Scenario::SameBankDifferentRow);
-        assert!(none < same_row, "same-row contention visible: {none} vs {same_row}");
-        assert!(none < diff_bank, "bus/queue delay visible: {none} vs {diff_bank}");
-        assert!(diff_bank < diff_row, "row conflict costs most: {diff_bank} vs {diff_row}");
+        assert!(
+            none < same_row,
+            "same-row contention visible: {none} vs {same_row}"
+        );
+        assert!(
+            none < diff_bank,
+            "bus/queue delay visible: {none} vs {diff_bank}"
+        );
+        assert!(
+            diff_bank < diff_row,
+            "row conflict costs most: {diff_bank} vs {diff_row}"
+        );
         let mut all = [none, diff_bank, same_row, diff_row];
         all.sort_unstable();
-        assert!(all.windows(2).all(|w| w[0] != w[1]), "all distinct: {all:?}");
+        assert!(
+            all.windows(2).all(|w| w[0] != w[1]),
+            "all distinct: {all:?}"
+        );
     }
 
     #[test]

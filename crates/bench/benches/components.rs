@@ -15,14 +15,21 @@ use dg_sim::types::{DomainId, MemRequest, ReqId};
 
 fn bench_dram_device(c: &mut Criterion) {
     c.bench_function("dram/closed_row_read", |b| {
-        let mut dev = DramDevice::new(DramOrg::default(), DramTiming::default(), ClockRatio::new(1));
+        let mut dev = DramDevice::new(
+            DramOrg::default(),
+            DramTiming::default(),
+            ClockRatio::new(1),
+        );
         let mut now = 0u64;
         b.iter(|| {
             for bank in 0..8 {
                 let act = DramCommand::Activate { bank, row: 1 };
                 let t = dev.earliest(act, now);
                 dev.issue(act, t);
-                let rd = DramCommand::Read { bank, auto_precharge: true };
+                let rd = DramCommand::Read {
+                    bank,
+                    auto_precharge: true,
+                };
                 let t2 = dev.earliest(rd, t);
                 now = dev.issue(rd, t2).unwrap();
             }
@@ -41,8 +48,8 @@ fn bench_memory_controller(c: &mut Criterion) {
             for now in 0..20_000u64 {
                 if mc.free_space() > 0 {
                     sent += 1;
-                    let req = MemRequest::read(DomainId(0), (sent % 1024) * 64, now)
-                        .with_id(ReqId(sent));
+                    let req =
+                        MemRequest::read(DomainId(0), (sent % 1024) * 64, now).with_id(ReqId(sent));
                     let _ = mc.try_send(req, now);
                 }
                 done += mc.tick(now).len() as u64;
@@ -60,7 +67,7 @@ fn bench_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(cache.access((i * 64 * 13) % (1 << 22), i % 4 == 0))
+            black_box(cache.access((i * 64 * 13) % (1 << 22), i.is_multiple_of(4)))
         });
     });
 }
@@ -103,9 +110,50 @@ fn bench_verification(c: &mut Criterion) {
     });
 }
 
+/// The acceptance bar for dg-obs: a disabled tracer must cost nothing on
+/// the hot path. `tracer/baseline_loop` and `tracer/noop_record` should be
+/// indistinguishable; `tracer/ring_record` shows the enabled-path cost.
+fn bench_tracer(c: &mut Criterion) {
+    use dg_obs::{EventKind, Tracer};
+    let mk_event = |i: u64| EventKind::Issue {
+        id: ReqId(i),
+        domain: DomainId(0),
+        addr: i * 64,
+        is_write: false,
+    };
+
+    c.bench_function("tracer/baseline_loop", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(i * 64)
+        });
+    });
+
+    c.bench_function("tracer/noop_record", |b| {
+        let tracer = Tracer::noop();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tracer.record(i, || mk_event(i));
+            black_box(i * 64)
+        });
+    });
+
+    c.bench_function("tracer/ring_record", |b| {
+        let tracer = Tracer::ring(4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tracer.record(i, || mk_event(i));
+            black_box(i * 64)
+        });
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_dram_device, bench_memory_controller, bench_cache, bench_shaper, bench_verification
+    targets = bench_dram_device, bench_memory_controller, bench_cache, bench_shaper, bench_verification, bench_tracer
 );
 criterion_main!(benches);

@@ -22,7 +22,8 @@ struct Row {
 }
 
 fn main() {
-    let scale = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    let scale = args.scale;
     let cfg = SystemConfig::two_core();
 
     // A mostly-compute victim with sparse memory traffic...
@@ -38,7 +39,12 @@ fn main() {
     let schemes: Vec<(&str, MemoryKind)> = vec![
         ("insecure", MemoryKind::Insecure),
         ("FS-BTA", MemoryKind::FsBta),
-        ("TP (64 slots)", MemoryKind::TemporalPartition { slots_per_period: 64 }),
+        (
+            "TP (64 slots)",
+            MemoryKind::TemporalPartition {
+                slots_per_period: 64,
+            },
+        ),
         ("FS-spatial", MemoryKind::FsSpatial),
         (
             "DAGguise",
@@ -70,7 +76,13 @@ fn main() {
     }
     dg_bench::print_table(
         "Ablation: bandwidth reallocation with a sparse victim + streaming co-runner",
-        &["scheme", "victim IPC", "co-runner IPC", "co-runner GB/s", "victim GB/s (incl. fakes)"],
+        &[
+            "scheme",
+            "victim IPC",
+            "co-runner IPC",
+            "co-runner GB/s",
+            "victim GB/s (incl. fakes)",
+        ],
         &rows,
     );
 
@@ -87,4 +99,22 @@ fn main() {
         dag.victim_gbps
     );
     dg_bench::write_results("ablation_adaptivity", &data);
+
+    // Representative observed run for --metrics / --trace: the DAGguise
+    // scheme from the table above.
+    if args.observing() {
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![victim, co],
+            MemoryKind::Dagguise {
+                protected: vec![Some(dg_bench::workloads::docdist_defense()), None],
+            },
+            scale.budget,
+            "ablation_adaptivity",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

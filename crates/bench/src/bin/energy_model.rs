@@ -26,7 +26,8 @@ struct EnergyRow {
 }
 
 fn main() {
-    let scale = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    let scale = args.scale;
     let cfg = SystemConfig::two_core();
     let p = PowerParams::default();
     let victim = dg_bench::workloads::docdist_trace(&scale, 0);
@@ -73,7 +74,14 @@ fn main() {
 
     dg_bench::print_table(
         "Extension (§4.4): DRAM energy of fake traffic and suppression savings",
-        &["defense rDAG", "real accesses", "fakes", "real nJ", "fake nJ", "suppression saves"],
+        &[
+            "defense rDAG",
+            "real accesses",
+            "fakes",
+            "real nJ",
+            "fake nJ",
+            "suppression saves",
+        ],
         &rows,
     );
     println!(
@@ -81,4 +89,23 @@ fn main() {
          suppression avoids their entire DIMM access energy (§4.4)."
     );
     dg_bench::write_results("energy_model", &data);
+
+    // Representative observed run for --metrics / --trace: the densest
+    // defense rDAG from the sweep (most fake traffic, hence the most
+    // interesting energy split).
+    if args.observing() {
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![victim],
+            MemoryKind::Dagguise {
+                protected: vec![Some(RdagTemplate::new(8, 25, 0.25))],
+            },
+            scale.budget,
+            "energy_model",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

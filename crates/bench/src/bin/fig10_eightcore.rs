@@ -29,7 +29,8 @@ struct Fig10Data {
 }
 
 fn main() {
-    let mut scale = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    let mut scale = args.scale;
     // Eight-core runs cost ~4x a two-core run; trim the quick preset.
     if scale == dg_bench::Scale::quick() {
         scale.docdist_words /= 2;
@@ -47,9 +48,10 @@ fn main() {
 
     let apps = spec_names();
     let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
-    let jobs: Mutex<Vec<(usize, &str)>> =
-        Mutex::new(apps.iter().copied().enumerate().collect());
-    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let jobs: Mutex<Vec<(usize, &str)>> = Mutex::new(apps.iter().copied().enumerate().collect());
+    let n_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16);
 
     thread::scope(|s| {
         for _ in 0..n_workers {
@@ -157,4 +159,42 @@ fn main() {
             geomean_dagguise: g_dag,
         },
     );
+
+    // Representative observed run for --metrics / --trace: the full
+    // eight-core DAGguise mix with the first SPEC app.
+    if args.observing() {
+        let traces = vec![
+            doc0,
+            doc1,
+            dna0,
+            dna1,
+            dg_bench::workloads::spec_trace(&scale, apps[0], 0),
+            dg_bench::workloads::spec_trace(&scale, apps[0], 1),
+            dg_bench::workloads::spec_trace(&scale, apps[0], 2),
+            dg_bench::workloads::spec_trace(&scale, apps[0], 3),
+        ];
+        let protection = vec![
+            Some(doc_def),
+            Some(doc_def),
+            Some(dna_def),
+            Some(dna_def),
+            None,
+            None,
+            None,
+            None,
+        ];
+        match dg_system::run_colocation_observed(
+            &cfg,
+            traces,
+            MemoryKind::Dagguise {
+                protected: protection,
+            },
+            scale.budget,
+            "fig10_eightcore",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

@@ -14,14 +14,17 @@ struct Fig1Row {
 }
 
 fn main() {
-    let _ = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
     let cfg = SystemConfig::two_core();
 
     let scenarios = [
         ("(a) no victim activity", Figure1Scenario::NoActivity),
         ("(b) different bank", Figure1Scenario::DifferentBank),
         ("(c) same bank, same row", Figure1Scenario::SameBankSameRow),
-        ("(d) same bank, different row", Figure1Scenario::SameBankDifferentRow),
+        (
+            "(d) same bank, different row",
+            Figure1Scenario::SameBankDifferentRow,
+        ),
     ];
 
     let baseline = {
@@ -48,7 +51,11 @@ fn main() {
     }
     dg_bench::print_table(
         "Figure 1: attacker-observed probe latencies (CPU cycles)",
-        &["victim scenario", "latency trace (steady probes)", "peak delay"],
+        &[
+            "victim scenario",
+            "latency trace (steady probes)",
+            "peak delay",
+        ],
         &rows,
     );
     println!(
@@ -56,4 +63,28 @@ fn main() {
          latencies: bank and row placement are both visible."
     );
     dg_bench::write_results("fig1_attack", &data);
+
+    // Representative observed run for --metrics / --trace: an attacker-
+    // style probe stream contending with a victim over insecure memory.
+    if args.observing() {
+        let mut probe = dg_cpu::MemTrace::new();
+        for i in 0..500u64 {
+            probe.load((i % 64) * 64 * 131, 50);
+        }
+        let mut victim = dg_cpu::MemTrace::new();
+        for i in 0..500u64 {
+            victim.load((1 << 30) + (i % 64) * 64 * 131, 50);
+        }
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![probe, victim],
+            dg_system::MemoryKind::Insecure,
+            100_000_000,
+            "fig1_attack",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

@@ -47,8 +47,8 @@ fn drive(
         }
         if inject_at.contains(&now) {
             k += 1;
-            let req = MemRequest::read(DomainId(0), k * 64, now)
-                .with_id(ReqId::compose(DomainId(0), k));
+            let req =
+                MemRequest::read(DomainId(0), k * 64, now).with_id(ReqId::compose(DomainId(0), k));
             let _ = shaper.try_accept(req, now);
         }
         for req in shaper.tick(now, usize::MAX) {
@@ -70,7 +70,7 @@ struct Fig2Data {
 }
 
 fn main() {
-    let _ = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
     let mut cfg = SystemConfig::two_core();
     cfg.clock_ratio = dg_sim::clock::ClockRatio::new(1);
 
@@ -80,12 +80,7 @@ fn main() {
     let horizon = 3600;
 
     let cam = |inject: &[Cycle]| {
-        let mut s = CamouflageShaper::new(
-            DomainId(0),
-            IntervalDistribution::figure2(),
-            &cfg,
-            7,
-        );
+        let mut s = CamouflageShaper::new(DomainId(0), IntervalDistribution::figure2(), &cfg, 7);
         drive(&mut s, inject, horizon, 30)
     };
     let dag = |inject: &[Cycle]| {
@@ -107,18 +102,31 @@ fn main() {
             "Camouflage".into(),
             format!("{:?}…", &c0[..c0.len().min(8)]),
             format!("{:?}…", &c1[..c1.len().min(8)]),
-            if c0 == c1 { "identical".into() } else { "DIFFER → leak".into() },
+            if c0 == c1 {
+                "identical".into()
+            } else {
+                "DIFFER → leak".into()
+            },
         ],
         vec![
             "DAGguise".into(),
             format!("{:?}…", &d0[..d0.len().min(8)]),
             format!("{:?}…", &d1[..d1.len().min(8)]),
-            if d0 == d1 { "identical → no leak".into() } else { "DIFFER".into() },
+            if d0 == d1 {
+                "identical → no leak".into()
+            } else {
+                "DIFFER".into()
+            },
         ],
     ];
     dg_bench::print_table(
         "Figure 2: shaper output schedules under two victim secrets",
-        &["shaper", "emissions (secret 0)", "emissions (secret 1)", "verdict"],
+        &[
+            "shaper",
+            "emissions (secret 0)",
+            "emissions (secret 1)",
+            "verdict",
+        ],
         &rows,
     );
 
@@ -140,4 +148,30 @@ fn main() {
             dagguise_secret1: d1,
         },
     );
+
+    // Representative observed run for --metrics / --trace: a Camouflage-
+    // shaped victim sharing memory with an unprotected co-runner.
+    if args.observing() {
+        let mut victim = dg_cpu::MemTrace::new();
+        for i in 0..400u64 {
+            victim.load((i % 256) * 64 * 131, 120);
+        }
+        let mut co = dg_cpu::MemTrace::new();
+        for i in 0..2000u64 {
+            co.load((1 << 30) + (i % 512) * 64, 30);
+        }
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![victim, co],
+            dg_system::MemoryKind::Camouflage {
+                protected: vec![Some(IntervalDistribution::figure2()), None],
+            },
+            100_000_000,
+            "fig2_camouflage",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

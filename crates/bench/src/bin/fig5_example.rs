@@ -16,6 +16,7 @@ use dg_rdag::template::RdagTemplate;
 use dg_sim::clock::Cycle;
 use dg_sim::config::{RowPolicy, SystemConfig};
 use dg_sim::types::{DomainId, MemRequest, ReqId};
+use dg_system::{run_colocation_observed, MemoryKind};
 use serde::Serialize;
 
 fn cfg() -> SystemConfig {
@@ -145,7 +146,7 @@ struct Fig5Data {
 }
 
 fn main() {
-    let _ = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
 
     // Part 1: security — both secrets shape to the same schedule.
     let e0 = shape_victim(100, 3000);
@@ -165,10 +166,22 @@ fn main() {
     let (p1, p2) = adaptivity();
     dg_bench::print_table(
         "Figure 5(c/d): shaper injection interval per co-runner phase",
-        &["co-runner phase", "mean injection interval (cycles)", "paper"],
         &[
-            vec!["phase 1 (300-cycle gaps)".into(), format!("{p1:.1}"), "≈250".into()],
-            vec!["phase 2 (saturating)".into(), format!("{p2:.1}"), "≈325".into()],
+            "co-runner phase",
+            "mean injection interval (cycles)",
+            "paper",
+        ],
+        &[
+            vec![
+                "phase 1 (300-cycle gaps)".into(),
+                format!("{p1:.1}"),
+                "≈250".into(),
+            ],
+            vec![
+                "phase 2 (saturating)".into(),
+                format!("{p2:.1}"),
+                "≈325".into(),
+            ],
         ],
     );
     assert!(p2 > p1, "contention must stretch the shaper's intervals");
@@ -186,4 +199,32 @@ fn main() {
             phase2_interval: p2,
         },
     );
+
+    // With --metrics / --trace, replay the running example as a full
+    // two-core system (shaped victim + streaming co-runner) and export
+    // the requested artifacts.
+    if args.observing() {
+        let mut victim = dg_cpu::MemTrace::new();
+        for i in 0..400u64 {
+            victim.load((i % 512) * 64 * 131, 100);
+        }
+        let mut co = dg_cpu::MemTrace::new();
+        for i in 0..4000u64 {
+            co.load((1 << 30) + (i % 512) * 64, 20);
+        }
+        let kind = MemoryKind::Dagguise {
+            protected: vec![Some(RdagTemplate::new(1, 150, 0.0)), None],
+        };
+        match run_colocation_observed(
+            &cfg(),
+            vec![victim, co],
+            kind,
+            100_000_000,
+            "fig5_example",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

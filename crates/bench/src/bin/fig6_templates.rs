@@ -12,7 +12,12 @@ struct Fig6Data {
 }
 
 fn main() {
-    let _ = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    if args.observing() {
+        eprintln!(
+            "note: fig6_templates is a static harness (no simulation); --metrics/--trace ignored"
+        );
+    }
 
     // Figure 6(a): 4 parallel sequences, weight 100, alternating banks.
     let a = RdagTemplate::new(4, 100, 0.0);
@@ -33,7 +38,12 @@ fn main() {
     }
     dg_bench::print_table(
         "Figure 6: template-derived defense rDAGs",
-        &["template", "sequence", "bank cycle", "edge weight (DRAM cycles)"],
+        &[
+            "template",
+            "sequence",
+            "bank cycle",
+            "edge weight (DRAM cycles)",
+        ],
         &rows,
     );
 

@@ -23,12 +23,13 @@ struct Fig7Data {
 }
 
 fn main() {
-    let scale = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    let scale = args.scale;
     let cfg = SystemConfig::two_core();
     let victim = dg_bench::workloads::docdist_trace(&scale, 0);
 
-    let baseline = baseline_alone(&cfg, victim.clone(), scale.budget)
-        .expect("baseline run finished");
+    let baseline =
+        baseline_alone(&cfg, victim.clone(), scale.budget).expect("baseline run finished");
     eprintln!("baseline (insecure, alone) IPC = {baseline:.4}");
 
     // The paper's DocDist uses a 1/1000 write ratio; our reimplementation
@@ -37,7 +38,9 @@ fn main() {
     // write slots starve the victim's write-backs.
     let space = RdagTemplate::search_space(0.25);
     let results: Mutex<Vec<ProfilePoint>> = Mutex::new(Vec::new());
-    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let n_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16);
     let jobs: Mutex<Vec<RdagTemplate>> = Mutex::new(space.clone());
 
     thread::scope(|s| {
@@ -114,4 +117,22 @@ fn main() {
             points,
         },
     );
+
+    // Representative observed run for --metrics / --trace: the victim
+    // alone under the selected defense rDAG.
+    if args.observing() {
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![victim],
+            dg_system::MemoryKind::Dagguise {
+                protected: vec![Some(selected.template)],
+            },
+            scale.budget,
+            "fig7_profiling",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

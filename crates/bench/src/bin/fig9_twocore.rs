@@ -33,16 +33,18 @@ struct Fig9Data {
 }
 
 fn main() {
-    let scale = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    let scale = args.scale;
     let cfg = SystemConfig::two_core();
     let victim = dg_bench::workloads::docdist_trace(&scale, 0);
     let defense = dg_bench::workloads::docdist_defense();
 
     let apps = spec_names();
     let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
-    let jobs: Mutex<Vec<(usize, &str)>> =
-        Mutex::new(apps.iter().copied().enumerate().collect());
-    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let jobs: Mutex<Vec<(usize, &str)>> = Mutex::new(apps.iter().copied().enumerate().collect());
+    let n_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16);
 
     thread::scope(|s| {
         for _ in 0..n_workers {
@@ -148,4 +150,23 @@ fn main() {
             geomean_dagguise: g_dag,
         },
     );
+
+    // Representative observed run for --metrics / --trace: the DocDist
+    // victim against the first SPEC app under DAGguise.
+    if args.observing() {
+        let co = dg_bench::workloads::spec_trace(&scale, apps[0], 0);
+        match dg_system::run_colocation_observed(
+            &cfg,
+            vec![victim, co],
+            MemoryKind::Dagguise {
+                protected: vec![Some(defense), None],
+            },
+            scale.budget,
+            "fig9_twocore",
+            &args.obs_config(),
+        ) {
+            Ok((_, report, events)) => args.export(&report, &events),
+            Err(e) => eprintln!("warning: observed run failed: {e}"),
+        }
+    }
 }

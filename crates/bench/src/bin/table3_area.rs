@@ -11,7 +11,12 @@ struct Table3Data {
 }
 
 fn main() {
-    let _ = dg_bench::parse_args();
+    let args = dg_bench::parse_harness_args();
+    if args.observing() {
+        eprintln!(
+            "note: table3_area is a static harness (no simulation); --metrics/--trace ignored"
+        );
+    }
     let r = area_report(&AreaConfig::paper());
 
     dg_bench::print_table(

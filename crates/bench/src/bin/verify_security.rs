@@ -24,7 +24,13 @@ struct VerifyData {
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args = dg_bench::parse_harness_args();
+    if args.observing() {
+        eprintln!(
+            "note: verify_security is a model checker (no simulation); --metrics/--trace ignored"
+        );
+    }
+    let full = args.scale == dg_bench::Scale::paper();
     let base_max_k = if full { 6 } else { 4 };
 
     let dag = ModelConfig::paper(ShaperKind::Dagguise);
@@ -83,13 +89,21 @@ fn main() {
     let unwinding_ok = check_unwinding(&dag).is_ok();
     println!(
         "  DAGguise : {}",
-        if unwinding_ok { "PROVED — receiver-visible projection is tx-independent" } else { "FAILED" }
+        if unwinding_ok {
+            "PROVED — receiver-visible projection is tx-independent"
+        } else {
+            "FAILED"
+        }
     );
     assert!(unwinding_ok);
     let leaky_unwinds = check_unwinding(&leaky).is_ok();
     println!(
         "  Leaky    : {}",
-        if leaky_unwinds { "unexpectedly passed" } else { "violation found (as expected)" }
+        if leaky_unwinds {
+            "unexpectedly passed"
+        } else {
+            "violation found (as expected)"
+        }
     );
     assert!(!leaky_unwinds);
 

@@ -19,13 +19,23 @@
 //! is the default so the whole suite runs in minutes) and writes its raw
 //! series as JSON under `results/`.
 
+use dg_obs::{chrome_trace_json, Event, RunReport};
+use dg_system::ObsConfig;
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 pub mod scale;
 pub mod workloads;
 
 pub use scale::Scale;
+
+/// Ring-buffer capacity used when `--trace` is given (enough to hold the
+/// tail of any quick-scale run without unbounded memory).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Interval-sampling window in CPU cycles used when `--metrics` is given
+/// (the Figure 7b time-series granularity).
+pub const DEFAULT_INTERVAL_WINDOW: u64 = 10_000;
 
 /// Parses the common harness flags. Returns the selected scale.
 pub fn parse_args() -> Scale {
@@ -34,6 +44,96 @@ pub fn parse_args() -> Scale {
     } else {
         Scale::quick()
     }
+}
+
+/// Common harness command line: scale plus observability artifact paths.
+///
+/// Every `fig*`/experiment binary accepts:
+///
+/// * `--full` — paper-scale workloads (quick scale is the default);
+/// * `--metrics <path>` — write the run's [`RunReport`] JSON there;
+/// * `--trace <path>` — write a Chrome `trace_event` JSON there
+///   (load it in Perfetto / `chrome://tracing`).
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Workload scale selected by `--full`.
+    pub scale: Scale,
+    /// Destination for the `RunReport` JSON, if requested.
+    pub metrics: Option<PathBuf>,
+    /// Destination for the Chrome trace JSON, if requested.
+    pub trace: Option<PathBuf>,
+}
+
+impl HarnessArgs {
+    /// Whether any observability artifact was requested.
+    pub fn observing(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some()
+    }
+
+    /// The [`ObsConfig`] matching the requested artifacts: event tracing
+    /// only when `--trace` was given, interval sampling only with
+    /// `--metrics`.
+    pub fn obs_config(&self) -> ObsConfig {
+        ObsConfig {
+            trace_capacity: self.trace.is_some().then_some(DEFAULT_TRACE_CAPACITY),
+            interval_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
+        }
+    }
+
+    /// Writes the requested artifacts. Like [`write_results`], failures
+    /// warn but do not abort — the printed tables stay the primary output.
+    pub fn export(&self, report: &RunReport, events: &[Event]) {
+        if let Some(path) = &self.metrics {
+            write_artifact(path, &report.to_json());
+        }
+        if let Some(path) = &self.trace {
+            write_artifact(path, &chrome_trace_json(events));
+        }
+    }
+}
+
+fn write_artifact(path: &Path, contents: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("[artifact written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Parses the full harness command line ([`HarnessArgs`]).
+///
+/// Unknown flags are ignored (each harness may add its own); a missing
+/// value after `--metrics`/`--trace` aborts with a usage message.
+pub fn parse_harness_args() -> HarnessArgs {
+    let mut out = HarnessArgs {
+        scale: Scale::quick(),
+        metrics: None,
+        trace: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => out.scale = Scale::paper(),
+            "--metrics" | "--trace" => {
+                let Some(v) = args.next() else {
+                    eprintln!("error: {a} requires a path argument");
+                    std::process::exit(2);
+                };
+                if a == "--metrics" {
+                    out.metrics = Some(PathBuf::from(v));
+                } else {
+                    out.trace = Some(PathBuf::from(v));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Writes an experiment's raw data as JSON under `results/`.

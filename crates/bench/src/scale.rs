@@ -21,6 +21,12 @@ pub struct Scale {
     pub budget: u64,
 }
 
+impl Default for Scale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
 impl Scale {
     /// Fast preset (default): full curve shapes in minutes.
     pub fn quick() -> Self {

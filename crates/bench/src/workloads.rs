@@ -33,11 +33,7 @@ pub fn dna_trace(scale: &Scale, secret: u64) -> MemTrace {
 pub fn spec_trace(scale: &Scale, name: &str, slot: u64) -> MemTrace {
     SpecPreset::by_name(name)
         .unwrap_or_else(|| panic!("unknown SPEC preset {name}"))
-        .generate(
-            scale.spec_instructions,
-            (4 + slot) << 32,
-            0xC0DE + slot,
-        )
+        .generate(scale.spec_instructions, (4 + slot) << 32, 0xC0DE + slot)
 }
 
 /// The defense rDAG selected for DocDist by the §4.3 methodology: the

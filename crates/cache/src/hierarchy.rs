@@ -72,7 +72,12 @@ impl CacheHierarchy {
     /// Write misses allocate; dirty victims cascade downward, and dirty L3
     /// victims surface as `memory_writes`. The caller issues those (plus
     /// the demand fill on a full miss) to the memory subsystem.
-    pub fn access(&mut self, addr: Addr, is_write: bool, l3: &mut SetAssocCache) -> HierarchyOutcome {
+    pub fn access(
+        &mut self,
+        addr: Addr,
+        is_write: bool,
+        l3: &mut SetAssocCache,
+    ) -> HierarchyOutcome {
         let mut memory_writes = Vec::new();
 
         let o1 = self.l1.access(addr, is_write);
@@ -219,7 +224,7 @@ mod tests {
     fn dirty_data_eventually_written_to_memory() {
         let (mut h, mut l3) = setup();
         h.access(0x0, true, &mut l3); // dirty in L1
-        // Stream enough lines through to force 0x0 out of every level.
+                                      // Stream enough lines through to force 0x0 out of every level.
         let mut writes = Vec::new();
         for i in 1..64u64 {
             let out = h.access(i * 64, false, &mut l3);

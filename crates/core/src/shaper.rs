@@ -4,6 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dg_dram::{AddressMapper, MapScheme, PhysLoc};
 use dg_mem::DomainShaper;
+use dg_obs::{EventKind, ShaperReport, Tracer};
 use dg_rdag::exec::{RdagExecutor, SlotDemand};
 use dg_rdag::template::RdagTemplate;
 use dg_sim::clock::{ClockRatio, Cycle};
@@ -43,8 +44,8 @@ impl ShaperConfig {
         template: RdagTemplate,
         cfg: &dg_sim::config::SystemConfig,
     ) -> Self {
-        let rows = cfg.dram_org.capacity_bytes
-            / (u64::from(cfg.dram_org.banks) * cfg.dram_org.row_bytes);
+        let rows =
+            cfg.dram_org.capacity_bytes / (u64::from(cfg.dram_org.banks) * cfg.dram_org.row_bytes);
         Self {
             domain,
             template,
@@ -120,6 +121,7 @@ pub struct Shaper {
     rng: DetRng,
     fake_seq: u64,
     stats: ShaperStats,
+    tracer: Tracer,
 }
 
 impl Shaper {
@@ -145,6 +147,7 @@ impl Shaper {
             rng,
             fake_seq: 0,
             stats: ShaperStats::default(),
+            tracer: Tracer::noop(),
         }
     }
 
@@ -177,7 +180,9 @@ impl Shaper {
     /// bank").
     fn make_fake(&mut self, demand: &SlotDemand, now: Cycle) -> MemRequest {
         let row = self.rng.next_below(self.config.rows);
-        let col = self.rng.next_below(self.config.row_bytes / self.config.line_bytes);
+        let col = self
+            .rng
+            .next_below(self.config.row_bytes / self.config.line_bytes);
         let addr = self.mapper.encode(PhysLoc {
             bank: demand.bank,
             row,
@@ -198,12 +203,23 @@ impl DomainShaper for Shaper {
         self.config.domain
     }
 
-    fn try_accept(&mut self, req: MemRequest, _now: Cycle) -> Result<(), MemRequest> {
+    fn try_accept(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
         if self.queue.len() >= self.config.queue_capacity {
             self.stats.rejected += 1;
+            self.tracer.record(now, || EventKind::ShaperReject {
+                id: req.id,
+                domain: req.domain,
+            });
             return Err(req);
         }
-        debug_assert_eq!(req.domain, self.config.domain, "request routed to wrong shaper");
+        debug_assert_eq!(
+            req.domain, self.config.domain,
+            "request routed to wrong shaper"
+        );
+        self.tracer.record(now, || EventKind::ShaperAccept {
+            id: req.id,
+            domain: req.domain,
+        });
         self.queue.push_back(req);
         self.stats.accepted += 1;
         Ok(())
@@ -223,11 +239,22 @@ impl DomainShaper for Shaper {
                 Some(real) => {
                     self.stats.real_forwarded += 1;
                     self.stats.delay_sum += now.saturating_sub(real.created_at);
+                    self.tracer.record(now, || EventKind::ShaperEmitReal {
+                        id: real.id,
+                        domain: real.domain,
+                        bank: demand.bank,
+                    });
                     real
                 }
                 None => {
                     self.stats.fakes_emitted += 1;
-                    self.make_fake(&demand, now)
+                    let fake = self.make_fake(&demand, now);
+                    self.tracer.record(now, || EventKind::ShaperEmitFake {
+                        id: fake.id,
+                        domain: self.config.domain,
+                        bank: demand.bank,
+                    });
+                    fake
                 }
             };
             self.executor.emitted(demand.seq, now);
@@ -251,6 +278,22 @@ impl DomainShaper for Shaper {
 
     fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn report(&self) -> Option<ShaperReport> {
+        Some(ShaperReport {
+            domain: self.config.domain.0,
+            real_forwarded: self.stats.real_forwarded,
+            fakes_emitted: self.stats.fakes_emitted,
+            accepted: self.stats.accepted,
+            rejected: self.stats.rejected,
+            fake_fraction: self.stats.fake_fraction(),
+            mean_delay: (self.stats.real_forwarded > 0).then(|| self.stats.mean_delay()),
+        })
     }
 }
 
@@ -395,8 +438,8 @@ mod tests {
                 MemRequest::read(DomainId(0), i * 64, 0).with_id(ReqId::compose(DomainId(0), i));
             s.try_accept(req, 0).unwrap();
         }
-        let extra = MemRequest::read(DomainId(0), 0x9000, 0)
-            .with_id(ReqId::compose(DomainId(0), 99));
+        let extra =
+            MemRequest::read(DomainId(0), 0x9000, 0).with_id(ReqId::compose(DomainId(0), 99));
         assert!(s.try_accept(extra, 0).is_err());
         assert_eq!(s.stats().rejected, 1);
     }
@@ -446,12 +489,11 @@ mod tests {
         assert!(injected > 0);
         assert!(busy.stats().real_forwarded > 0, "some requests forwarded");
         // Compare the receiver-visible schedule: (cycle, bank, type).
-        let visible =
-            |e: &[(Cycle, MemRequest)]| -> Vec<(Cycle, u32, ReqType)> {
-                e.iter()
-                    .map(|(c, r)| (*c, busy.mapper.decode(r.addr).bank, r.req_type))
-                    .collect()
-            };
+        let visible = |e: &[(Cycle, MemRequest)]| -> Vec<(Cycle, u32, ReqType)> {
+            e.iter()
+                .map(|(c, r)| (*c, busy.mapper.decode(r.addr).bank, r.req_type))
+                .collect()
+        };
         assert_eq!(visible(&idle_emissions), visible(&emissions));
     }
 

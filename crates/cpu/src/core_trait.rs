@@ -2,6 +2,7 @@
 
 use dg_cache::SetAssocCache;
 use dg_mem::MemorySubsystem;
+use dg_obs::Tracer;
 use dg_sim::clock::Cycle;
 use dg_sim::types::{DomainId, MemResponse};
 
@@ -34,4 +35,8 @@ pub trait Core: Send {
         let end = self.finished_at().unwrap_or(now).max(1);
         self.instructions_retired() as f64 / end as f64
     }
+
+    /// Installs an observability tracer. Cores that emit trace events store
+    /// the handle; the default ignores it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }

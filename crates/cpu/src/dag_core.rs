@@ -316,10 +316,34 @@ mod tests {
         //   0 -> 1, 0 -> 2, {1,2} -> 3
         let w = DagWorkload {
             reqs: vec![
-                DagReq { addr: 0, is_write: false, deps: vec![], gap: 0, instrs: 1 },
-                DagReq { addr: 64, is_write: false, deps: vec![0], gap: 10, instrs: 1 },
-                DagReq { addr: 128, is_write: false, deps: vec![0], gap: 50, instrs: 1 },
-                DagReq { addr: 192, is_write: true, deps: vec![1, 2], gap: 5, instrs: 1 },
+                DagReq {
+                    addr: 0,
+                    is_write: false,
+                    deps: vec![],
+                    gap: 0,
+                    instrs: 1,
+                },
+                DagReq {
+                    addr: 64,
+                    is_write: false,
+                    deps: vec![0],
+                    gap: 10,
+                    instrs: 1,
+                },
+                DagReq {
+                    addr: 128,
+                    is_write: false,
+                    deps: vec![0],
+                    gap: 50,
+                    instrs: 1,
+                },
+                DagReq {
+                    addr: 192,
+                    is_write: true,
+                    deps: vec![1, 2],
+                    gap: 5,
+                    instrs: 1,
+                },
             ],
         };
         let mut core = DagCore::new(DomainId(0), w, &c);
@@ -365,7 +389,10 @@ mod tests {
                 break;
             }
         }
-        assert!(t_slow > t_fast, "contention must slow the chain: {t_slow} vs {t_fast}");
+        assert!(
+            t_slow > t_fast,
+            "contention must slow the chain: {t_slow} vs {t_fast}"
+        );
     }
 
     #[test]

@@ -68,11 +68,7 @@ impl MemTrace {
     /// Total instructions represented by the trace (memory operations count
     /// as one instruction each).
     pub fn total_instructions(&self) -> u64 {
-        self.ops
-            .iter()
-            .map(|op| op.instrs_before + 1)
-            .sum::<u64>()
-            + self.tail_instrs
+        self.ops.iter().map(|op| op.instrs_before + 1).sum::<u64>() + self.tail_instrs
     }
 
     /// Concatenates another trace after this one.
@@ -137,6 +133,6 @@ mod tests {
             })
             .collect();
         assert_eq!(t.len(), 4);
-        assert_eq!(t.total_instructions(), 0 + 1 + 1 + 1 + 2 + 1 + 3 + 1);
+        assert_eq!(t.total_instructions(), 1 + 1 + 1 + 2 + 1 + 3 + 1);
     }
 }

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use dg_cache::{CacheHierarchy, HitLevel, SetAssocCache};
 use dg_mem::MemorySubsystem;
+use dg_obs::{EventKind, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::types::{DomainId, MemRequest, MemResponse, ReqId};
@@ -51,6 +52,7 @@ pub struct TraceCore {
     loaded_compute: bool,
     /// LLC misses issued (statistics).
     pub demand_misses: u64,
+    tracer: Tracer,
 }
 
 impl TraceCore {
@@ -73,6 +75,7 @@ impl TraceCore {
             finished_at: None,
             loaded_compute: false,
             demand_misses: 0,
+            tracer: Tracer::noop(),
         }
     }
 
@@ -167,6 +170,12 @@ impl Core for TraceCore {
         for wb in &out.memory_writes {
             let id = self.alloc_id();
             let req = MemRequest::write(self.domain, *wb, now).with_id(id);
+            self.tracer.record(now, || EventKind::Issue {
+                id,
+                domain: self.domain,
+                addr: *wb,
+                is_write: true,
+            });
             self.outstanding.push(OutMiss {
                 id,
                 instr_mark: self.instrs_done,
@@ -185,6 +194,16 @@ impl Core for TraceCore {
                 self.demand_misses += 1;
                 let id = self.alloc_id();
                 let req = MemRequest::read(self.domain, op.addr, now).with_id(id);
+                self.tracer.record(now, || EventKind::LlcMiss {
+                    domain: self.domain,
+                    addr: op.addr,
+                });
+                self.tracer.record(now, || EventKind::Issue {
+                    id,
+                    domain: self.domain,
+                    addr: op.addr,
+                    is_write: false,
+                });
                 self.outstanding.push(OutMiss {
                     id,
                     instr_mark: self.instrs_done,
@@ -217,6 +236,10 @@ impl Core for TraceCore {
 
     fn finished_at(&self) -> Option<Cycle> {
         self.finished_at
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -256,7 +279,7 @@ mod tests {
         let mut core = TraceCore::new(DomainId(0), t, &c);
         let end = run(&mut core, &c, 100_000);
         // 8000 instructions at width 8 → about 1000 cycles.
-        assert!(end >= 1000 && end < 1100, "end = {end}");
+        assert!((1000..1100).contains(&end), "end = {end}");
         assert_eq!(core.instructions_retired(), 8000);
     }
 

@@ -91,15 +91,20 @@ pub struct CamouflageShaper {
 impl CamouflageShaper {
     /// Builds a Camouflage shaper for `domain` using the profiled
     /// `dist`ribution.
-    pub fn new(domain: DomainId, dist: IntervalDistribution, sys: &SystemConfig, seed: u64) -> Self {
+    pub fn new(
+        domain: DomainId,
+        dist: IntervalDistribution,
+        sys: &SystemConfig,
+        seed: u64,
+    ) -> Self {
         let mapper = AddressMapper::new(
             MapScheme::BankInterleaved,
             sys.dram_org.banks,
             sys.dram_org.row_bytes,
             sys.dram_org.line_bytes,
         );
-        let rows = sys.dram_org.capacity_bytes
-            / (u64::from(sys.dram_org.banks) * sys.dram_org.row_bytes);
+        let rows =
+            sys.dram_org.capacity_bytes / (u64::from(sys.dram_org.banks) * sys.dram_org.row_bytes);
         Self {
             domain,
             dist,
@@ -267,13 +272,21 @@ mod tests {
     fn forwarded_requests_keep_their_bank() {
         let mut s = shaper(3);
         let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
-        let victim_addr = mapper.encode(PhysLoc { bank: 5, row: 1, col: 0 });
-        let req = MemRequest::read(DomainId(0), victim_addr, 0)
-            .with_id(ReqId::compose(DomainId(0), 1));
+        let victim_addr = mapper.encode(PhysLoc {
+            bank: 5,
+            row: 1,
+            col: 0,
+        });
+        let req =
+            MemRequest::read(DomainId(0), victim_addr, 0).with_id(ReqId::compose(DomainId(0), 1));
         s.try_accept(req, 0).unwrap();
         let out = s.tick(0, usize::MAX);
         assert_eq!(out.len(), 1);
-        assert_eq!(mapper.decode(out[0].addr).bank, 5, "bank info leaks through");
+        assert_eq!(
+            mapper.decode(out[0].addr).bank,
+            5,
+            "bank info leaks through"
+        );
     }
 
     #[test]
@@ -301,8 +314,8 @@ mod tests {
                 MemRequest::read(DomainId(0), i * 64, 0).with_id(ReqId::compose(DomainId(0), i));
             s.try_accept(req, 0).unwrap();
         }
-        let extra = MemRequest::read(DomainId(0), 0x9000, 0)
-            .with_id(ReqId::compose(DomainId(0), 999));
+        let extra =
+            MemRequest::read(DomainId(0), 0x9000, 0).with_id(ReqId::compose(DomainId(0), 999));
         assert!(s.try_accept(extra, 0).is_err());
     }
 

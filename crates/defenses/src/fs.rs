@@ -247,7 +247,10 @@ mod tests {
         // Domain 1 owns odd slots: requests issue at stride*1 and stride*3.
         assert_eq!(done[0].completed_at, cfg.stride + cfg.service);
         assert_eq!(done[1].completed_at, cfg.stride * 3 + cfg.service);
-        assert!(fs.wasted_slots() >= 3, "domain 0's slots are wasted (no-skip)");
+        assert!(
+            fs.wasted_slots() >= 3,
+            "domain 0's slots are wasted (no-skip)"
+        );
     }
 
     #[test]
@@ -293,13 +296,17 @@ mod tests {
         let mut fs = FixedService::new(&s, cfg);
         let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
         // A request to bank 1 (group 1) cannot use slot 0 (group 0).
-        let addr = mapper.encode(dg_dram::PhysLoc { bank: 1, row: 0, col: 0 });
+        let addr = mapper.encode(dg_dram::PhysLoc {
+            bank: 1,
+            row: 0,
+            col: 0,
+        });
         fs.try_send(req(0, addr, 1, 0), 0).unwrap();
         let done = drive(&mut fs, cfg.stride * 4);
         assert_eq!(done.len(), 1);
         // Issued in slot 1 (the first group-1 slot), not slot 0.
         assert_eq!(done[0].completed_at, cfg.stride + cfg.service);
-        assert_eq!(fs.wasted_slots() >= 1, true);
+        assert!(fs.wasted_slots() >= 1);
     }
 
     #[test]

@@ -259,6 +259,9 @@ mod tests {
         fs.try_send(req(0, 0x40, 2), 0).unwrap();
         let done = drive(&mut fs, cfg8.bank_interval * 3);
         assert_eq!(done.len(), 2);
-        assert_eq!(done[1].completed_at - done[0].completed_at, cfg8.bank_interval);
+        assert_eq!(
+            done[1].completed_at - done[0].completed_at,
+            cfg8.bank_interval
+        );
     }
 }

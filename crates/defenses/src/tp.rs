@@ -236,10 +236,7 @@ mod tests {
         assert_eq!(done.len(), 4);
         // Issued at consecutive slot boundaries.
         for (i, r) in done.iter().enumerate() {
-            assert_eq!(
-                r.completed_at,
-                cfg.issue_interval * i as u64 + cfg.service
-            );
+            assert_eq!(r.completed_at, cfg.issue_interval * i as u64 + cfg.service);
         }
     }
 

@@ -85,7 +85,11 @@ impl Bank {
     /// callers must consult [`earliest_activate`](Self::earliest_activate).
     pub fn activate(&mut self, t: Cycle, row: RowId, timing: &CpuTiming) {
         assert_eq!(self.state, BankState::Idle, "ACT to non-idle bank");
-        assert!(t >= self.next_act, "ACT at {t} before horizon {}", self.next_act);
+        assert!(
+            t >= self.next_act,
+            "ACT at {t} before horizon {}",
+            self.next_act
+        );
         self.state = BankState::Active { row };
         self.next_col = t + timing.tRCD;
         self.next_pre = t + timing.tRAS;
@@ -103,7 +107,11 @@ impl Bank {
             matches!(self.state, BankState::Active { .. }),
             "RD to idle bank"
         );
-        assert!(t >= self.next_col, "RD at {t} before horizon {}", self.next_col);
+        assert!(
+            t >= self.next_col,
+            "RD at {t} before horizon {}",
+            self.next_col
+        );
         self.next_col = self.next_col.max(t + timing.tCCD);
         self.next_pre = self.next_pre.max(t + timing.tRTP);
         if auto_precharge {
@@ -124,9 +132,15 @@ impl Bank {
             matches!(self.state, BankState::Active { .. }),
             "WR to idle bank"
         );
-        assert!(t >= self.next_col, "WR at {t} before horizon {}", self.next_col);
+        assert!(
+            t >= self.next_col,
+            "WR at {t} before horizon {}",
+            self.next_col
+        );
         self.next_col = self.next_col.max(t + timing.tCCD);
-        self.next_pre = self.next_pre.max(t + timing.tCWD + timing.tBURST + timing.tWR);
+        self.next_pre = self
+            .next_pre
+            .max(t + timing.tCWD + timing.tBURST + timing.tWR);
         if auto_precharge {
             let pre_at = self.next_pre;
             self.apply_precharge(pre_at, timing);
@@ -139,7 +153,11 @@ impl Bank {
     ///
     /// Panics if `t` is before the precharge horizon.
     pub fn precharge(&mut self, t: Cycle, timing: &CpuTiming) {
-        assert!(t >= self.next_pre, "PRE at {t} before horizon {}", self.next_pre);
+        assert!(
+            t >= self.next_pre,
+            "PRE at {t} before horizon {}",
+            self.next_pre
+        );
         self.apply_precharge(t, timing);
     }
 

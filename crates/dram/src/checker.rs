@@ -299,7 +299,10 @@ mod tests {
             now = at;
         }
         let violations = check_trace(&rec.trace, &timing(), 8);
-        assert!(violations.is_empty(), "device emitted illegal schedule: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "device emitted illegal schedule: {violations:?}"
+        );
     }
 
     #[test]
@@ -326,9 +329,18 @@ mod tests {
     fn seeded_trc_violation_is_caught() {
         let t = timing();
         let trace = vec![
-            TraceEntry { at: 0, cmd: DramCommand::Activate { bank: 0, row: 1 } },
-            TraceEntry { at: t.tRAS, cmd: DramCommand::Precharge { bank: 0 } },
-            TraceEntry { at: t.tRAS + t.tRP, cmd: DramCommand::Activate { bank: 0, row: 2 } },
+            TraceEntry {
+                at: 0,
+                cmd: DramCommand::Activate { bank: 0, row: 1 },
+            },
+            TraceEntry {
+                at: t.tRAS,
+                cmd: DramCommand::Precharge { bank: 0 },
+            },
+            TraceEntry {
+                at: t.tRAS + t.tRP,
+                cmd: DramCommand::Activate { bank: 0, row: 2 },
+            },
         ];
         // tRAS + tRP = tRC for Table 2, so this is legal…
         assert!(check_trace(&trace, &t, 8).is_empty());
@@ -337,7 +349,8 @@ mod tests {
         bad[2].at -= 1;
         let v = check_trace(&bad, &t, 8);
         assert!(
-            v.iter().any(|x| x.constraint == "tRC" || x.constraint == "tRP"),
+            v.iter()
+                .any(|x| x.constraint == "tRC" || x.constraint == "tRP"),
             "{v:?}"
         );
     }
@@ -361,8 +374,14 @@ mod tests {
         // Double ACT.
         let v = check_trace(
             &[
-                TraceEntry { at: 0, cmd: DramCommand::Activate { bank: 0, row: 1 } },
-                TraceEntry { at: t.tRC, cmd: DramCommand::Activate { bank: 0, row: 2 } },
+                TraceEntry {
+                    at: 0,
+                    cmd: DramCommand::Activate { bank: 0, row: 1 },
+                },
+                TraceEntry {
+                    at: t.tRC,
+                    cmd: DramCommand::Activate { bank: 0, row: 2 },
+                },
             ],
             &t,
             8,
@@ -375,8 +394,14 @@ mod tests {
         let t = timing();
         let v = check_trace(
             &[
-                TraceEntry { at: 0, cmd: DramCommand::Activate { bank: 0, row: 1 } },
-                TraceEntry { at: 0, cmd: DramCommand::Activate { bank: 1, row: 1 } },
+                TraceEntry {
+                    at: 0,
+                    cmd: DramCommand::Activate { bank: 0, row: 1 },
+                },
+                TraceEntry {
+                    at: 0,
+                    cmd: DramCommand::Activate { bank: 1, row: 1 },
+                },
             ],
             &t,
             8,
@@ -388,18 +413,30 @@ mod tests {
     fn wtr_violation_caught() {
         let t = timing();
         let mut trace = vec![
-            TraceEntry { at: 0, cmd: DramCommand::Activate { bank: 0, row: 1 } },
-            TraceEntry { at: t.tRRD, cmd: DramCommand::Activate { bank: 1, row: 1 } },
+            TraceEntry {
+                at: 0,
+                cmd: DramCommand::Activate { bank: 0, row: 1 },
+            },
+            TraceEntry {
+                at: t.tRRD,
+                cmd: DramCommand::Activate { bank: 1, row: 1 },
+            },
         ];
         let wr_at = t.tRCD;
         trace.push(TraceEntry {
             at: wr_at,
-            cmd: DramCommand::Write { bank: 0, auto_precharge: false },
+            cmd: DramCommand::Write {
+                bank: 0,
+                auto_precharge: false,
+            },
         });
         // Read far too soon after the write.
         trace.push(TraceEntry {
             at: wr_at + t.tCCD,
-            cmd: DramCommand::Read { bank: 1, auto_precharge: false },
+            cmd: DramCommand::Read {
+                bank: 1,
+                auto_precharge: false,
+            },
         });
         trace.sort_by_key(|e| e.at);
         let v = check_trace(&trace, &t, 8);

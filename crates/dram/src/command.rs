@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(DramCommand::Activate { bank: 2, row: 5 }.to_string(), "ACT b2 r5");
+        assert_eq!(
+            DramCommand::Activate { bank: 2, row: 5 }.to_string(),
+            "ACT b2 r5"
+        );
         assert_eq!(
             DramCommand::Read {
                 bank: 0,

@@ -247,7 +247,11 @@ mod tests {
     use dg_sim::config::{DramOrg, DramTiming};
 
     fn device() -> DramDevice {
-        DramDevice::new(DramOrg::default(), DramTiming::default(), ClockRatio::new(1))
+        DramDevice::new(
+            DramOrg::default(),
+            DramTiming::default(),
+            ClockRatio::new(1),
+        )
     }
 
     fn act(bank: BankId, row: u64) -> DramCommand {
@@ -306,7 +310,7 @@ mod tests {
     #[test]
     fn tfaw_limits_burst_of_activates() {
         let mut d = device();
-        let t = d.timing().clone();
+        let t = *d.timing();
         let mut at = 0;
         for b in 0..4 {
             at = d.earliest(act(b, 0), at);

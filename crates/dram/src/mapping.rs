@@ -65,8 +65,14 @@ impl AddressMapper {
     /// and a row holds at least one line.
     pub fn new(scheme: MapScheme, banks: u32, row_bytes: u64, line_bytes: u64) -> Self {
         assert!(banks.is_power_of_two(), "banks must be a power of two");
-        assert!(row_bytes.is_power_of_two(), "row_bytes must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line_bytes must be a power of two");
+        assert!(
+            row_bytes.is_power_of_two(),
+            "row_bytes must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line_bytes must be a power of two"
+        );
         assert!(row_bytes >= line_bytes, "row must hold at least one line");
         Self {
             scheme,

@@ -196,9 +196,7 @@ mod tests {
         }
         let saved = e.suppression_savings_nj(&p);
         assert!(saved > 0.0);
-        assert!(
-            (e.total_unsuppressed_nj(&p) - e.total_suppressed_nj(&p) - saved).abs() < 1e-9
-        );
+        assert!((e.total_unsuppressed_nj(&p) - e.total_suppressed_nj(&p) - saved).abs() < 1e-9);
     }
 
     #[test]
@@ -206,7 +204,7 @@ mod tests {
         let p = PowerParams::default();
         let mut e = EnergyCounter::new();
         e.set_cycles(2_400_000); // 1 ms at 2.4 GHz
-        // 90 mW for 1 ms = 90 µJ = 90_000 nJ.
+                                 // 90 mW for 1 ms = 90 µJ = 90_000 nJ.
         assert!((e.background_nj(&p) - 90_000.0).abs() < 1.0);
     }
 
@@ -218,7 +216,10 @@ mod tests {
         e.record_access(false, false);
         e.record_access(false, true);
         let ratio = e.fake_overhead(&p);
-        assert!(ratio > 0.9 && ratio < 1.1, "similar energy per access: {ratio}");
+        assert!(
+            ratio > 0.9 && ratio < 1.1,
+            "similar energy per access: {ratio}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use dg_dram::{AddressMapper, DramCommand, DramDevice, MapScheme, PhysLoc};
+use dg_obs::{BankCmd, EventKind, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::config::{RowPolicy, SystemConfig};
 use dg_sim::types::{MemRequest, MemResponse};
@@ -54,6 +55,7 @@ pub struct MemoryController {
     capacity: usize,
     stats: MemStats,
     refresh_pending: bool,
+    tracer: Tracer,
 }
 
 impl MemoryController {
@@ -77,7 +79,34 @@ impl MemoryController {
             capacity: cfg.queues.transaction_queue,
             stats,
             refresh_pending: false,
+            tracer: Tracer::noop(),
         }
+    }
+
+    /// Records a command-bus event when tracing is enabled.
+    fn trace_cmd(&self, cmd: DramCommand, now: Cycle) {
+        self.tracer.record(now, || match cmd {
+            DramCommand::Activate { bank, .. } => EventKind::BankCommand {
+                cmd: BankCmd::Act,
+                bank,
+            },
+            DramCommand::Read { bank, .. } => EventKind::BankCommand {
+                cmd: BankCmd::Rd,
+                bank,
+            },
+            DramCommand::Write { bank, .. } => EventKind::BankCommand {
+                cmd: BankCmd::Wr,
+                bank,
+            },
+            DramCommand::Precharge { bank } => EventKind::BankCommand {
+                cmd: BankCmd::Pre,
+                bank,
+            },
+            DramCommand::Refresh => EventKind::BankCommand {
+                cmd: BankCmd::Ref,
+                bank: 0,
+            },
+        });
     }
 
     /// The address mapper in use (attackers and shapers need it to target
@@ -130,6 +159,7 @@ impl MemoryController {
                 let cmd = DramCommand::Precharge { bank: b };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
+                    self.trace_cmd(cmd, now);
                     return true;
                 }
             }
@@ -142,6 +172,7 @@ impl MemoryController {
         let cmd = DramCommand::Refresh;
         if self.device.earliest(cmd, now) == now {
             self.device.issue(cmd, now);
+            self.trace_cmd(cmd, now);
             self.refresh_pending = false;
             self.stats.refreshes = self.device.refreshes();
             self.stats.energy.record_refresh();
@@ -167,7 +198,11 @@ impl MemoryController {
 
     fn issue_column(&mut self, idx: usize, now: Cycle) {
         let cmd = self.column_cmd(&self.txq[idx]);
-        let done = self.device.issue(cmd, now).expect("column returns data time");
+        let done = self
+            .device
+            .issue(cmd, now)
+            .expect("column returns data time");
+        self.trace_cmd(cmd, now);
         self.txq[idx].state = TxnState::Issued { done };
     }
 
@@ -192,6 +227,7 @@ impl MemoryController {
                 let cmd = DramCommand::Precharge { bank: loc.bank };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
+                    self.trace_cmd(cmd, now);
                 }
             }
             None => {
@@ -201,6 +237,7 @@ impl MemoryController {
                 };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
+                    self.trace_cmd(cmd, now);
                 }
             }
         }
@@ -239,6 +276,7 @@ impl MemoryController {
                 };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
+                    self.trace_cmd(cmd, now);
                     return;
                 }
             }
@@ -264,6 +302,7 @@ impl MemoryController {
                     let cmd = DramCommand::Precharge { bank };
                     if self.device.earliest(cmd, now) == now {
                         self.device.issue(cmd, now);
+                        self.trace_cmd(cmd, now);
                     }
                 }
             }
@@ -287,6 +326,12 @@ impl MemoryController {
                         completed_at: d,
                     };
                     self.stats.record(&resp);
+                    self.tracer.record(now, || EventKind::Response {
+                        id: resp.id,
+                        domain: resp.domain,
+                        latency: resp.latency(),
+                        fake: resp.kind.is_fake(),
+                    });
                     done.push(resp);
                     continue;
                 }
@@ -303,6 +348,11 @@ impl MemorySubsystem for MemoryController {
             return Err(req);
         }
         let loc = self.mapper.decode(req.addr);
+        self.tracer.record(now, || EventKind::TxqEnqueue {
+            id: req.id,
+            domain: req.domain,
+            bank: loc.bank,
+        });
         self.txq.push_back(Txn {
             req,
             loc,
@@ -330,6 +380,10 @@ impl MemorySubsystem for MemoryController {
 
     fn free_slots(&self) -> usize {
         self.free_space()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -406,7 +460,11 @@ mod tests {
         let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
         let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
         // Open row 0 of bank 0.
-        let a0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
+        let a0 = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
         read_at(&mut mc, a0, 1, 0);
         let mut now = 0;
         let mut out = Vec::new();
@@ -415,7 +473,11 @@ mod tests {
             now += 1;
         }
         // Conflict: same bank, different row.
-        let a1 = mapper.encode(PhysLoc { bank: 0, row: 9, col: 0 });
+        let a1 = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 9,
+            col: 0,
+        });
         read_at(&mut mc, a1, 2, now);
         let start = now;
         let mut out2 = Vec::new();
@@ -436,16 +498,32 @@ mod tests {
         // Two requests to different banks complete much faster than two to
         // the same bank.
         let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
-        let b0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
-        let b1 = mapper.encode(PhysLoc { bank: 1, row: 0, col: 0 });
+        let b0 = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
+        let b1 = mapper.encode(PhysLoc {
+            bank: 1,
+            row: 0,
+            col: 0,
+        });
         read_at(&mut mc, b0, 1, 0);
         read_at(&mut mc, b1, 2, 0);
         let done = run_until_done(&mut mc, 10_000);
         let parallel_finish = done.iter().map(|r| r.completed_at).max().unwrap();
 
         let mut mc2 = MemoryController::new(&c, SchedPolicy::FrFcfs);
-        let same0 = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
-        let same1 = mapper.encode(PhysLoc { bank: 0, row: 1, col: 0 });
+        let same0 = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
+        let same1 = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 1,
+            col: 0,
+        });
         read_at(&mut mc2, same0, 1, 0);
         read_at(&mut mc2, same1, 2, 0);
         let done2 = run_until_done(&mut mc2, 10_000);
@@ -463,9 +541,21 @@ mod tests {
         let mapper = AddressMapper::new(MapScheme::BankInterleaved, 8, 8192, 64);
         let mut mc = MemoryController::new(&c, SchedPolicy::Fcfs);
         // Same bank twice then different bank: FCFS must finish them in order.
-        let a = mapper.encode(PhysLoc { bank: 0, row: 0, col: 0 });
-        let b = mapper.encode(PhysLoc { bank: 0, row: 1, col: 0 });
-        let e = mapper.encode(PhysLoc { bank: 3, row: 0, col: 0 });
+        let a = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
+        let b = mapper.encode(PhysLoc {
+            bank: 0,
+            row: 1,
+            col: 0,
+        });
+        let e = mapper.encode(PhysLoc {
+            bank: 3,
+            row: 0,
+            col: 0,
+        });
         read_at(&mut mc, a, 1, 0);
         read_at(&mut mc, b, 2, 0);
         read_at(&mut mc, e, 3, 0);

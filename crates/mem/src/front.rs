@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use dg_obs::{ShaperReport, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::types::{DomainId, MemRequest, MemResponse};
 
@@ -33,6 +34,17 @@ pub trait MemorySubsystem: Send {
 
     /// Free request slots at the acceptance boundary (for flow control).
     fn free_slots(&self) -> usize;
+
+    /// Installs an observability tracer. Implementations that emit trace
+    /// events store the handle (and forward it to nested components); the
+    /// default ignores it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Conformance reports of any shapers nested in this subsystem, for the
+    /// end-of-run [`dg_obs::RunReport`]. Unshaped subsystems return none.
+    fn shaper_reports(&self) -> Vec<ShaperReport> {
+        Vec::new()
+    }
 }
 
 /// A per-security-domain request shaper: the proxy agent of §4 that sits
@@ -63,6 +75,15 @@ pub trait DomainShaper: Send {
 
     /// Requests currently buffered (diagnostics / drain detection).
     fn pending(&self) -> usize;
+
+    /// Installs an observability tracer; the default ignores it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Conformance report for the end-of-run [`dg_obs::RunReport`];
+    /// shapers without interesting statistics return `None`.
+    fn report(&self) -> Option<ShaperReport> {
+        None
+    }
 }
 
 /// The trivial shaper for unprotected domains: a small FIFO that forwards
@@ -159,7 +180,11 @@ impl<M: MemorySubsystem> std::fmt::Debug for ShapedMemory<M> {
 impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
     fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
         let idx = req.domain.0 as usize;
-        assert!(idx < self.shapers.len(), "no shaper for domain {}", req.domain);
+        assert!(
+            idx < self.shapers.len(),
+            "no shaper for domain {}",
+            req.domain
+        );
         self.shapers[idx].try_accept(req, now)
     }
 
@@ -211,6 +236,17 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
             .map(|s| s.pending())
             .min()
             .map_or(0, |_| usize::MAX)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer.clone());
+        for s in &mut self.shapers {
+            s.set_tracer(tracer.clone());
+        }
+    }
+
+    fn shaper_reports(&self) -> Vec<ShaperReport> {
+        self.shapers.iter().filter_map(|s| s.report()).collect()
     }
 }
 
@@ -284,8 +320,7 @@ mod tests {
     fn misindexed_shaper_rejected() {
         let cfg = SystemConfig::two_core();
         let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
-        let shapers: Vec<Box<dyn DomainShaper>> =
-            vec![Box::new(PassThrough::new(DomainId(1), 8))];
+        let shapers: Vec<Box<dyn DomainShaper>> = vec![Box::new(PassThrough::new(DomainId(1), 8))];
         let _ = ShapedMemory::new(mc, shapers);
     }
 }

@@ -81,6 +81,10 @@ pub struct MemStats {
     pub cycles: Cycle,
     /// DRAM energy accounting (real vs fake traffic, §4.4).
     pub energy: EnergyCounter,
+    /// Responses whose domain id exceeded the configured domain count and
+    /// were therefore not attributed to any [`DomainStats`]. A non-zero
+    /// value in a run report flags a misconfigured domain count.
+    pub dropped: u64,
     line_bytes: u64,
 }
 
@@ -92,18 +96,22 @@ impl MemStats {
             refreshes: 0,
             cycles: 0,
             energy: EnergyCounter::new(),
+            dropped: 0,
             line_bytes,
         }
     }
 
     /// Records a completed transaction against its domain. Domains beyond
-    /// the configured count are ignored (defensive: shapers may use
-    /// reserved ids).
+    /// the configured count are not attributed (defensive: shapers may use
+    /// reserved ids) but are counted in [`MemStats::dropped`] so they
+    /// cannot vanish silently.
     pub fn record(&mut self, resp: &MemResponse) {
         self.energy
             .record_access(resp.req_type.is_write(), resp.kind.is_fake());
         if let Some(d) = self.per_domain.get_mut(resp.domain.0 as usize) {
             d.record(resp, self.line_bytes);
+        } else {
+            self.dropped += 1;
         }
     }
 
@@ -183,10 +191,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_domain_ignored() {
+    fn unknown_domain_counted_as_dropped() {
         let mut s = MemStats::new(1, 64);
         s.record(&resp(9, ReqKind::Real, ReqType::Read, 10));
         assert_eq!(s.domain(DomainId(0)).total(), 0);
+        assert_eq!(s.dropped, 1);
+        s.record(&resp(0, ReqKind::Real, ReqType::Read, 10));
+        assert_eq!(s.dropped, 1);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! The request-lifecycle event taxonomy.
+//!
+//! One [`Event`] is recorded at each observable step of a memory request's
+//! life: issue at the core, LLC miss, shaper decisions, transaction-queue
+//! entry, DRAM bank commands, and completion. Events carry the
+//! [`ReqId`]/[`DomainId`] tags needed to reconstruct a single request's
+//! timeline across components.
+
+use dg_sim::clock::Cycle;
+use dg_sim::types::{Addr, DomainId, ReqId};
+use serde::{Deserialize, Serialize};
+
+/// A DRAM bank-level command, as scheduled on the command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankCmd {
+    /// Row activate.
+    Act,
+    /// Column read.
+    Rd,
+    /// Column write.
+    Wr,
+    /// Precharge.
+    Pre,
+    /// Rank-wide refresh.
+    Ref,
+}
+
+impl BankCmd {
+    /// Short display name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BankCmd::Act => "ACT",
+            BankCmd::Rd => "RD",
+            BankCmd::Wr => "WR",
+            BankCmd::Pre => "PRE",
+            BankCmd::Ref => "REF",
+        }
+    }
+}
+
+/// What happened (the cycle stamp lives in [`Event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A core created a memory request (demand miss or write-back).
+    Issue {
+        /// Request id.
+        id: ReqId,
+        /// Issuing domain.
+        domain: DomainId,
+        /// Line address.
+        addr: Addr,
+        /// True for write-back traffic.
+        is_write: bool,
+    },
+    /// A demand access missed every cache level.
+    LlcMiss {
+        /// Missing domain.
+        domain: DomainId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// A shaper admitted a core request into its private queue.
+    ShaperAccept {
+        /// Request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+    },
+    /// A shaper refused a core request (private queue full).
+    ShaperReject {
+        /// Request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+    },
+    /// A shaper filled a prescribed slot with a buffered real request.
+    ShaperEmitReal {
+        /// Request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+        /// Bank the slot prescribed.
+        bank: u32,
+    },
+    /// A shaper fabricated a fake request for an unmatched slot.
+    ShaperEmitFake {
+        /// Fabricated request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+        /// Bank the slot prescribed.
+        bank: u32,
+    },
+    /// A request entered the memory controller's transaction queue.
+    TxqEnqueue {
+        /// Request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+        /// Target bank.
+        bank: u32,
+    },
+    /// A DRAM command issued on the command bus.
+    BankCommand {
+        /// The command.
+        cmd: BankCmd,
+        /// Target bank (0 for rank-wide REF).
+        bank: u32,
+    },
+    /// A transaction completed and its response left the controller.
+    Response {
+        /// Request id.
+        id: ReqId,
+        /// Owning domain.
+        domain: DomainId,
+        /// Arrival-to-completion latency in CPU cycles.
+        latency: Cycle,
+        /// True for shaper-fabricated traffic.
+        fake: bool,
+    },
+}
+
+impl EventKind {
+    /// Short display name used in trace exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Issue { .. } => "issue",
+            EventKind::LlcMiss { .. } => "llc_miss",
+            EventKind::ShaperAccept { .. } => "shaper_accept",
+            EventKind::ShaperReject { .. } => "shaper_reject",
+            EventKind::ShaperEmitReal { .. } => "emit_real",
+            EventKind::ShaperEmitFake { .. } => "emit_fake",
+            EventKind::TxqEnqueue { .. } => "txq_enqueue",
+            EventKind::BankCommand { cmd, .. } => cmd.name(),
+            EventKind::Response { .. } => "response",
+        }
+    }
+
+    /// The domain tag, when the event belongs to one.
+    pub fn domain(&self) -> Option<DomainId> {
+        match *self {
+            EventKind::Issue { domain, .. }
+            | EventKind::LlcMiss { domain, .. }
+            | EventKind::ShaperAccept { domain, .. }
+            | EventKind::ShaperReject { domain, .. }
+            | EventKind::ShaperEmitReal { domain, .. }
+            | EventKind::ShaperEmitFake { domain, .. }
+            | EventKind::TxqEnqueue { domain, .. }
+            | EventKind::Response { domain, .. } => Some(domain),
+            EventKind::BankCommand { .. } => None,
+        }
+    }
+
+    /// The request id, when the event belongs to one request.
+    pub fn req_id(&self) -> Option<ReqId> {
+        match *self {
+            EventKind::Issue { id, .. }
+            | EventKind::ShaperAccept { id, .. }
+            | EventKind::ShaperReject { id, .. }
+            | EventKind::ShaperEmitReal { id, .. }
+            | EventKind::ShaperEmitFake { id, .. }
+            | EventKind::TxqEnqueue { id, .. }
+            | EventKind::Response { id, .. } => Some(id),
+            EventKind::LlcMiss { .. } | EventKind::BankCommand { .. } => None,
+        }
+    }
+}
+
+/// One cycle-stamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// CPU cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+}

@@ -25,12 +25,8 @@ pub fn to_dot(g: &Rdag, name: &str) -> String {
     writeln!(out, "  node [shape=circle];").expect("write to string");
     for id in g.vertex_ids() {
         let v = g.vertex(id);
-        writeln!(
-            out,
-            "  v{} [label=\"b{}\\n{}\"];",
-            id.0, v.bank, v.req_type
-        )
-        .expect("write to string");
+        writeln!(out, "  v{} [label=\"b{}\\n{}\"];", id.0, v.bank, v.req_type)
+            .expect("write to string");
     }
     for (src, dst, w) in g.edge_list() {
         writeln!(out, "  v{} -> v{} [label=\"{w}\"];", src.0, dst.0).expect("write to string");

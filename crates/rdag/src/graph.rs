@@ -7,15 +7,11 @@ use std::fmt;
 use dg_sim::types::ReqType;
 
 /// Index of a vertex within an [`Rdag`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VertexId(pub u32);
 
 /// Index of an edge within an [`Rdag`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 /// One memory request in an rDAG: a bank ID and a read/write tag (§4.1).
@@ -112,7 +108,12 @@ impl Rdag {
     /// Returns [`RdagError::UnknownVertex`] or [`RdagError::SelfLoop`].
     /// Cycle detection is deferred to [`validate`](Self::validate) /
     /// [`topo_order`](Self::topo_order) so graphs can be built in any order.
-    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: u64) -> Result<EdgeId, RdagError> {
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        weight: u64,
+    ) -> Result<EdgeId, RdagError> {
         for v in [src, dst] {
             if v.0 as usize >= self.vertices.len() {
                 return Err(RdagError::UnknownVertex(v));
@@ -378,7 +379,10 @@ mod tests {
         let edges: Vec<_> = g.edge_list().collect();
         assert_eq!(
             edges,
-            vec![(VertexId(0), VertexId(1), 99), (VertexId(1), VertexId(2), 99)]
+            vec![
+                (VertexId(0), VertexId(1), 99),
+                (VertexId(1), VertexId(2), 99)
+            ]
         );
     }
 }

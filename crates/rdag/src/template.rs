@@ -102,7 +102,8 @@ impl RdagTemplate {
                 };
                 let id = g.add_vertex(vertex);
                 if let Some(p) = prev {
-                    g.add_edge(p, id, self.weight).expect("template edges valid");
+                    g.add_edge(p, id, self.weight)
+                        .expect("template edges valid");
                 }
                 prev = Some(id);
             }
@@ -239,7 +240,9 @@ mod tests {
         let a: Vec<ReqType> = (0..64).map(|k| spec.vertex_type(k)).collect();
         let b: Vec<ReqType> = (0..64).map(|k| spec.vertex_type(k)).collect();
         assert_eq!(a, b, "pure function of the vertex index");
-        let writes = (0..40_000).filter(|&k| spec.vertex_type(k).is_write()).count();
+        let writes = (0..40_000)
+            .filter(|&k| spec.vertex_type(k).is_write())
+            .count();
         let share = writes as f64 / 40_000.0;
         assert!((share - 0.25).abs() < 0.02, "share = {share}");
     }

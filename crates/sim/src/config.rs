@@ -170,9 +170,7 @@ impl DramTiming {
             )));
         }
         if self.tRAS < self.tRCD {
-            return Err(SimError::InvalidConfig(
-                "tRAS must be at least tRCD".into(),
-            ));
+            return Err(SimError::InvalidConfig("tRAS must be at least tRCD".into()));
         }
         if self.tBURST == 0 || self.tCAS == 0 || self.tRCD == 0 || self.tRP == 0 {
             return Err(SimError::InvalidConfig(
@@ -180,9 +178,7 @@ impl DramTiming {
             ));
         }
         if self.tFAW < self.tRRD {
-            return Err(SimError::InvalidConfig(
-                "tFAW must be at least tRRD".into(),
-            ));
+            return Err(SimError::InvalidConfig("tFAW must be at least tRRD".into()));
         }
         if self.tRFC >= self.tREFI {
             return Err(SimError::InvalidConfig(
@@ -409,12 +405,16 @@ mod tests {
 
     #[test]
     fn invalid_timing_rejected() {
-        let mut t = DramTiming::default();
-        t.tRC = 10;
+        let t = DramTiming {
+            tRC: 10,
+            ..DramTiming::default()
+        };
         assert!(t.validate().is_err());
 
-        let mut t = DramTiming::default();
-        t.tRAS = 5;
+        let t = DramTiming {
+            tRAS: 5,
+            ..DramTiming::default()
+        };
         assert!(t.validate().is_err());
 
         let mut t = DramTiming::default();

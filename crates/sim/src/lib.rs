@@ -26,7 +26,7 @@ pub mod rng;
 pub mod stats;
 pub mod types;
 
-pub use clock::{Cycle, ClockRatio};
+pub use clock::{ClockRatio, Cycle};
 pub use config::SystemConfig;
 pub use error::SimError;
 pub use rng::DetRng;

@@ -9,13 +9,21 @@
 use crate::clock::Cycle;
 use serde::{Deserialize, Serialize};
 
-/// Running mean/min/max of a stream of `f64` samples.
+/// Running mean/min/max/variance of a stream of `f64` samples.
+///
+/// Variance uses Welford's online algorithm, which stays numerically stable
+/// for long streams of near-equal samples (exactly the shape a shaped-memory
+/// latency stream has).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Welford running mean.
+    welford_mean: f64,
+    /// Welford sum of squared deviations from the running mean.
+    m2: f64,
 }
 
 impl RunningStats {
@@ -35,6 +43,9 @@ impl RunningStats {
         }
         self.count += 1;
         self.sum += v;
+        let delta = v - self.welford_mean;
+        self.welford_mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.welford_mean);
     }
 
     /// Number of samples recorded.
@@ -60,6 +71,18 @@ impl RunningStats {
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Population variance (`m2 / n`), or `None` if no samples were
+    /// recorded.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` if no samples were
+    /// recorded.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
     }
 }
 
@@ -100,6 +123,11 @@ impl Histogram {
     /// Total number of samples.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Width of each bucket in cycles.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
     }
 
     /// Raw bucket counts.
@@ -260,6 +288,40 @@ mod tests {
         assert_eq!(s.min(), Some(2.0));
         assert_eq!(s.max(), Some(9.0));
         assert_eq!(s.sum(), 15.0);
+    }
+
+    #[test]
+    fn welford_variance_matches_two_pass() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &v in &samples {
+            s.record(v);
+        }
+        // Two-pass reference: mean 5.0, population variance 4.0.
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_empty_and_single() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.stddev(), None);
+        s.record(3.5);
+        assert_eq!(s.variance(), Some(0.0));
+        assert_eq!(s.stddev(), Some(0.0));
+    }
+
+    #[test]
+    fn welford_stable_on_offset_data() {
+        // A large constant offset defeats the naive sum-of-squares formula;
+        // Welford must still report the exact variance of {0,1,2}.
+        let mut s = RunningStats::new();
+        for v in [1e9, 1e9 + 1.0, 1e9 + 2.0] {
+            s.record(v);
+        }
+        assert!((s.variance().unwrap() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -2,8 +2,13 @@
 
 use dagguise::{Shaper, ShaperConfig};
 use dg_cpu::{Core, DagCore, DagWorkload, MemTrace, TraceCore};
-use dg_defenses::{CamouflageShaper, FixedService, FsConfig, FsSpatial, FsSpatialConfig, IntervalDistribution, TemporalPartition, TpConfig};
-use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory};
+use dg_defenses::{
+    CamouflageShaper, FixedService, FsConfig, FsSpatial, FsSpatialConfig, IntervalDistribution,
+    TemporalPartition, TpConfig,
+};
+use dg_mem::{
+    DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory,
+};
 use dg_rdag::template::RdagTemplate;
 use dg_sim::config::{RowPolicy, SystemConfig};
 use dg_sim::types::DomainId;
@@ -40,6 +45,21 @@ pub enum MemoryKind {
         /// Per-domain interval distributions (`None` = unprotected).
         protected: Vec<Option<IntervalDistribution>>,
     },
+}
+
+impl MemoryKind {
+    /// Short stable name used in run reports and artifact metadata.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemoryKind::Insecure => "insecure",
+            MemoryKind::Dagguise { .. } => "dagguise",
+            MemoryKind::FixedService => "fixed_service",
+            MemoryKind::FsBta => "fs_bta",
+            MemoryKind::FsSpatial => "fs_spatial",
+            MemoryKind::TemporalPartition { .. } => "temporal_partition",
+            MemoryKind::Camouflage { .. } => "camouflage",
+        }
+    }
 }
 
 /// Assembles a [`System`] from cores and a memory kind.
@@ -98,6 +118,7 @@ impl SystemBuilder {
         let domains = self.cores.len();
         let mut cfg = self.cfg;
         cfg.cores = domains;
+        let label = self.kind.label();
 
         let mem: Box<dyn MemorySubsystem> = match self.kind {
             MemoryKind::Insecure => {
@@ -119,9 +140,9 @@ impl SystemBuilder {
                     .map(|(i, t)| -> Box<dyn DomainShaper> {
                         let d = DomainId(i as u16);
                         match t {
-                            Some(template) => Box::new(Shaper::new(
-                                ShaperConfig::from_system(d, template, &cfg),
-                            )),
+                            Some(template) => {
+                                Box::new(Shaper::new(ShaperConfig::from_system(d, template, &cfg)))
+                            }
                             None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
                         }
                     })
@@ -158,12 +179,9 @@ impl SystemBuilder {
                     .map(|(i, dist)| -> Box<dyn DomainShaper> {
                         let d = DomainId(i as u16);
                         match dist {
-                            Some(dist) => Box::new(CamouflageShaper::new(
-                                d,
-                                dist,
-                                &cfg,
-                                0xCA30 ^ i as u64,
-                            )),
+                            Some(dist) => {
+                                Box::new(CamouflageShaper::new(d, dist, &cfg, 0xCA30 ^ i as u64))
+                            }
                             None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
                         }
                     })
@@ -172,7 +190,7 @@ impl SystemBuilder {
             }
         };
 
-        System::new(cfg, self.cores, mem)
+        System::new(cfg, self.cores, mem, label)
     }
 }
 
@@ -198,7 +216,9 @@ mod tests {
             MemoryKind::FixedService,
             MemoryKind::FsBta,
             MemoryKind::FsSpatial,
-            MemoryKind::TemporalPartition { slots_per_period: 8 },
+            MemoryKind::TemporalPartition {
+                slots_per_period: 8,
+            },
             MemoryKind::Camouflage {
                 protected: vec![Some(IntervalDistribution::figure2()), None],
             },

@@ -1,6 +1,7 @@
 //! Co-location experiment runner (Figures 9 and 10).
 
 use dg_cpu::MemTrace;
+use dg_obs::{Event, RunReport, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
@@ -57,12 +58,53 @@ pub fn run_colocation(
     kind: MemoryKind,
     budget: Cycle,
 ) -> Result<ColocationResult, SimError> {
+    run_colocation_observed(
+        cfg,
+        traces,
+        kind,
+        budget,
+        "colocation",
+        &ObsConfig::default(),
+    )
+    .map(|(result, _, _)| result)
+}
+
+/// Observability options for [`run_colocation_observed`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Event-trace ring-buffer capacity (`None` = tracing off).
+    pub trace_capacity: Option<usize>,
+    /// Interval sampling window in CPU cycles (`None` = sampling off).
+    pub interval_window: Option<Cycle>,
+}
+
+/// [`run_colocation`] with observability: optionally records an event trace
+/// and interval samples, and always assembles the end-of-run [`RunReport`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadline`] when the budget is exhausted before the
+/// primary core finishes.
+pub fn run_colocation_observed(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    budget: Cycle,
+    name: &str,
+    obs: &ObsConfig,
+) -> Result<(ColocationResult, RunReport, Vec<Event>), SimError> {
     let n = traces.len();
     let mut builder = SystemBuilder::new(cfg.clone());
     for t in traces {
         builder = builder.trace_core(t);
     }
     let mut sys = builder.memory(kind).build();
+    if let Some(capacity) = obs.trace_capacity {
+        sys.set_tracer(Tracer::ring(capacity));
+    }
+    if let Some(window) = obs.interval_window {
+        sys.enable_interval_sampling(window);
+    }
 
     sys.run_until_core_finished(0, budget)?;
     let end = sys.now();
@@ -86,11 +128,17 @@ pub fn run_colocation(
         .map(|i| stats.domain(DomainId(i as u16)).bandwidth.gbps(clock_hz))
         .collect();
 
-    Ok(ColocationResult {
-        cores,
-        bandwidth_gbps,
-        total_cycles: end,
-    })
+    let report = sys.report(name);
+    let events = sys.tracer().snapshot();
+    Ok((
+        ColocationResult {
+            cores,
+            bandwidth_gbps,
+            total_cycles: end,
+        },
+        report,
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -156,12 +204,7 @@ mod tests {
     #[test]
     fn deadline_surfaces() {
         let cfg = SystemConfig::two_core();
-        let r = run_colocation(
-            &cfg,
-            vec![stream(100, 0, 20)],
-            MemoryKind::Insecure,
-            10,
-        );
+        let r = run_colocation(&cfg, vec![stream(100, 0, 20)], MemoryKind::Insecure, 10);
         assert!(matches!(r, Err(SimError::Deadline { .. })));
     }
 }

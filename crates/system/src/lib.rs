@@ -36,6 +36,8 @@ pub mod profile;
 pub mod system;
 
 pub use builder::{MemoryKind, SystemBuilder};
-pub use experiment::{run_colocation, ColocationResult, CoreResult};
+pub use experiment::{
+    run_colocation, run_colocation_observed, ColocationResult, CoreResult, ObsConfig,
+};
 pub use profile::{profile_victim, select_defense_rdag, ProfilePoint};
 pub use system::System;

@@ -62,7 +62,11 @@ pub fn profile_victim(
     Ok(ProfilePoint {
         template,
         ipc,
-        normalized_ipc: if baseline_ipc > 0.0 { ipc / baseline_ipc } else { 0.0 },
+        normalized_ipc: if baseline_ipc > 0.0 {
+            ipc / baseline_ipc
+        } else {
+            0.0
+        },
         allocated_gbps,
     })
 }
@@ -72,7 +76,11 @@ pub fn profile_victim(
 /// # Errors
 ///
 /// Returns [`SimError::Deadline`] when `budget` cycles pass first.
-pub fn baseline_alone(cfg: &SystemConfig, victim: MemTrace, budget: Cycle) -> Result<f64, SimError> {
+pub fn baseline_alone(
+    cfg: &SystemConfig,
+    victim: MemTrace,
+    budget: Cycle,
+) -> Result<f64, SimError> {
     let mut sys = SystemBuilder::new(cfg.clone())
         .trace_core(victim)
         .memory(MemoryKind::Insecure)

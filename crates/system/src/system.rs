@@ -2,7 +2,12 @@
 
 use dg_cache::SetAssocCache;
 use dg_cpu::Core;
+use dg_dram::power::PowerParams;
 use dg_mem::MemorySubsystem;
+use dg_obs::{
+    CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot, IntervalSampler,
+    RunMeta, RunReport, TraceSummary, Tracer,
+};
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
@@ -17,6 +22,9 @@ pub struct System {
     l3: SetAssocCache,
     mem: Box<dyn MemorySubsystem>,
     now: Cycle,
+    mem_label: &'static str,
+    tracer: Tracer,
+    sampler: Option<IntervalSampler>,
 }
 
 impl System {
@@ -26,6 +34,7 @@ impl System {
         cfg: SystemConfig,
         cores: Vec<Box<dyn Core>>,
         mem: Box<dyn MemorySubsystem>,
+        mem_label: &'static str,
     ) -> Self {
         // The shared L3 scales with the core count (1 MB per core, Table 2).
         let mut l3_cfg = cfg.cache.l3_per_core;
@@ -37,6 +46,9 @@ impl System {
             l3,
             mem,
             now: 0,
+            mem_label,
+            tracer: Tracer::noop(),
+            sampler: None,
         }
     }
 
@@ -65,6 +77,37 @@ impl System {
         &self.l3
     }
 
+    /// Installs an observability tracer on every component of the system
+    /// (cores, shapers, memory controller).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for core in &mut self.cores {
+            core.set_tracer(tracer.clone());
+        }
+        self.mem.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (a no-op handle unless [`System::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables per-window IPC / bandwidth time-series sampling with the
+    /// given window length in CPU cycles (the Figure 7b measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn enable_interval_sampling(&mut self, window: Cycle) {
+        self.sampler = Some(IntervalSampler::new(
+            window,
+            self.cfg.core.clock_hz,
+            self.cores.len(),
+            self.cores.len(),
+        ));
+    }
+
     /// Advances the whole system one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.now;
@@ -80,6 +123,21 @@ impl System {
             core.tick(now, &mut self.l3, self.mem.as_mut());
         }
         self.now += 1;
+        if self.sampler.as_ref().is_some_and(|s| s.due(self.now)) {
+            let instructions: Vec<u64> = self
+                .cores
+                .iter()
+                .map(|c| c.instructions_retired())
+                .collect();
+            let stats = self.mem.stats();
+            let bytes: Vec<u64> = (0..self.cores.len())
+                .map(|i| stats.domains()[i].bandwidth.bytes())
+                .collect();
+            self.sampler
+                .as_mut()
+                .expect("checked above")
+                .sample(self.now, &instructions, &bytes);
+        }
     }
 
     /// Runs until every core finishes.
@@ -105,7 +163,11 @@ impl System {
     /// # Errors
     ///
     /// Returns [`SimError::Deadline`] if the budget is exhausted first.
-    pub fn run_until_core_finished(&mut self, domain: usize, budget: Cycle) -> Result<Cycle, SimError> {
+    pub fn run_until_core_finished(
+        &mut self,
+        domain: usize,
+        budget: Cycle,
+    ) -> Result<Cycle, SimError> {
         let start = self.now;
         while self.now - start < budget {
             if self.cores[domain].finished() {
@@ -128,6 +190,91 @@ impl System {
     /// IPC of core `i` as of now.
     pub fn ipc(&self, i: usize) -> f64 {
         self.cores[i].ipc_at(self.now)
+    }
+
+    /// Assembles the end-of-run [`RunReport`] artifact: per-core IPC,
+    /// per-domain traffic and latency distributions, shaper conformance,
+    /// DRAM energy (priced with the default DDR3-1600 [`PowerParams`]), and
+    /// any interval samples recorded so far.
+    pub fn report(&self, name: &str) -> RunReport {
+        let end = self.now;
+        let clock_hz = self.cfg.core.clock_hz;
+        let stats = self.mem.stats();
+
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let cycles = c.finished_at().unwrap_or(end).max(1);
+                CoreReport {
+                    domain: c.domain().0,
+                    instructions: c.instructions_retired(),
+                    cycles,
+                    ipc: c.instructions_retired() as f64 / cycles as f64,
+                    finished: c.finished(),
+                }
+            })
+            .collect();
+
+        // Core domains always appear; reserved/extra domains only when they
+        // actually carried traffic.
+        let domains = stats
+            .domains()
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| *i < self.cores.len() || d.total() > 0)
+            .map(|(i, d)| DomainReport {
+                domain: i as u16,
+                reads: d.reads,
+                writes: d.writes,
+                fakes: d.fakes,
+                bandwidth_gbps: d.bandwidth.gbps(clock_hz),
+                mean_latency: d.mean_latency(),
+                latency_p50: d.latency.percentile(50.0),
+                latency_p95: d.latency.percentile(95.0),
+                latency_p99: d.latency.percentile(99.0),
+                latency_hist: HistogramSnapshot {
+                    bucket_width: d.latency.bucket_width(),
+                    nonzero: d
+                        .latency
+                        .buckets()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(idx, &c)| (idx, c))
+                        .collect(),
+                    total: d.latency.total(),
+                },
+            })
+            .collect();
+
+        let events = self.tracer.snapshot();
+        RunReport {
+            meta: RunMeta {
+                name: name.to_string(),
+                memory: self.mem_label.to_string(),
+                cores: self.cores.len(),
+                total_cycles: end,
+                clock_hz,
+            },
+            cores,
+            domains,
+            shapers: self.mem.shaper_reports(),
+            dram: DramReport {
+                refreshes: stats.refreshes,
+                dropped_responses: stats.dropped,
+                energy: EnergyReport::from_counter(&stats.energy, &PowerParams::default()),
+            },
+            interval_window: self.sampler.as_ref().map_or(0, |s| s.window()),
+            intervals: self
+                .sampler
+                .as_ref()
+                .map_or_else(Vec::new, |s| s.samples().to_vec()),
+            trace: TraceSummary {
+                events_recorded: events.len() as u64,
+                events_dropped: self.tracer.dropped(),
+            },
+        }
     }
 }
 

@@ -1,0 +1,82 @@
+//! Same-seed observability determinism: two identical runs must produce
+//! byte-identical event streams and Chrome traces (the property that makes
+//! traces diffable across defense variants).
+
+use dg_cpu::MemTrace;
+use dg_obs::chrome_trace_json;
+use dg_rdag::template::RdagTemplate;
+use dg_sim::config::SystemConfig;
+use dg_system::{run_colocation_observed, MemoryKind, ObsConfig};
+
+fn stream(n: u64, base: u64, gap: u64) -> MemTrace {
+    let mut t = MemTrace::new();
+    for i in 0..n {
+        t.load(base + i * 64 * 131, gap);
+    }
+    t
+}
+
+fn observed_run() -> (Vec<dg_obs::Event>, dg_obs::RunReport) {
+    let cfg = SystemConfig::two_core();
+    let obs = ObsConfig {
+        trace_capacity: Some(16_384),
+        interval_window: Some(5_000),
+    };
+    let (_, report, events) = run_colocation_observed(
+        &cfg,
+        vec![stream(200, 0, 30), stream(1000, 1 << 30, 10)],
+        MemoryKind::Dagguise {
+            protected: vec![Some(RdagTemplate::new(2, 100, 0.01)), None],
+        },
+        200_000_000,
+        "determinism",
+        &obs,
+    )
+    .expect("run finishes");
+    (events, report)
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (events_a, report_a) = observed_run();
+    let (events_b, report_b) = observed_run();
+
+    // The simulation is deterministic, so the recorded event streams —
+    // including shaper fake-slot decisions — must coincide exactly.
+    assert!(!events_a.is_empty(), "the run must record events");
+    assert_eq!(events_a.len(), events_b.len());
+    let json_a = chrome_trace_json(&events_a);
+    let json_b = chrome_trace_json(&events_b);
+    assert_eq!(json_a, json_b, "Chrome traces must be byte-identical");
+
+    // The metrics artifact must agree too.
+    assert_eq!(report_a.to_json(), report_b.to_json());
+
+    // And the trace must contain the full request lifecycle.
+    let names: Vec<&str> = events_a.iter().map(|e| e.kind.name()).collect();
+    for expected in ["issue", "txq_enqueue", "ACT", "RD", "response"] {
+        assert!(
+            names.contains(&expected),
+            "trace should contain a {expected} event"
+        );
+    }
+    // A shaped domain emits shaper events as well.
+    assert!(
+        names.iter().any(|n| n.starts_with("shaper_")),
+        "DAGguise run should record shaper events"
+    );
+}
+
+#[test]
+fn interval_samples_cover_the_run() {
+    let (_, report) = observed_run();
+    assert_eq!(report.interval_window, 5_000);
+    assert!(
+        !report.intervals.is_empty(),
+        "sampling every 5k cycles must produce samples"
+    );
+    for s in &report.intervals {
+        assert_eq!(s.ipc.len(), 2);
+        assert_eq!(s.bandwidth_gbps.len(), 2);
+    }
+}

@@ -77,7 +77,10 @@ impl ModelConfig {
 
     fn check(&self) {
         assert!(self.mc_cap as usize <= MAX_MC_CAP, "mc_cap too large");
-        assert!(self.queue_cap as usize <= MAX_QUEUE_CAP, "queue_cap too large");
+        assert!(
+            self.queue_cap as usize <= MAX_QUEUE_CAP,
+            "queue_cap too large"
+        );
         assert!(self.latency >= 1, "latency must be at least 1");
     }
 }
@@ -296,7 +299,13 @@ pub fn step(cfg: &ModelConfig, s: &mut State, req_tx: Req, req_rx: Req) -> StepO
     //    receiver sees its own drop through the missing response, and the
     //    occupancy causing it is independent of the transmitter's secret).
     if let Some(bank) = req_rx {
-        s.mcq_push(McEntry { from_tx: false, bank }, cfg.mc_cap);
+        s.mcq_push(
+            McEntry {
+                from_tx: false,
+                bank,
+            },
+            cfg.mc_cap,
+        );
     }
 
     // 3. Transmitter request enters the shaper's private queue
@@ -326,7 +335,13 @@ pub fn step(cfg: &ModelConfig, s: &mut State, req_tx: Req, req_rx: Req) -> StepO
                     s.queue_pop_front().unwrap_or(s.vertex)
                 }
             };
-            s.mcq_push(McEntry { from_tx: true, bank }, cfg.mc_cap);
+            s.mcq_push(
+                McEntry {
+                    from_tx: true,
+                    bank,
+                },
+                cfg.mc_cap,
+            );
             s.waiting = true;
             s.vertex = !s.vertex;
         }
@@ -395,7 +410,12 @@ mod tests {
     fn rx_request_gets_served() {
         let c = cfg();
         let mut s = State::reset();
-        let outs = run(&c, s, &[None; 8], &[Some(true), None, None, None, None, None, None, None]);
+        let outs = run(
+            &c,
+            s,
+            &[None; 8],
+            &[Some(true), None, None, None, None, None, None, None],
+        );
         // The rx request to bank 1 is served in parallel with the shaper's
         // bank-0 fake: completes after latency 2 (entered at cycle 0,
         // issued same cycle, completes on cycle 2).
@@ -430,7 +450,16 @@ mod tests {
     #[test]
     fn dagguise_output_independent_of_tx_inputs_smoke() {
         let c = cfg();
-        let rx: Vec<Req> = vec![Some(false), None, Some(true), None, Some(false), None, None, None];
+        let rx: Vec<Req> = vec![
+            Some(false),
+            None,
+            Some(true),
+            None,
+            Some(false),
+            None,
+            None,
+            None,
+        ];
         let quiet = run(&c, State::reset(), &[None; 8], &rx);
         let busy_tx: Vec<Req> = vec![Some(true); 8];
         let busy = run(&c, State::reset(), &busy_tx, &rx);
@@ -455,8 +484,8 @@ mod tests {
         s.queue_len = 3;
         assert_eq!(s.queue_pop_matching(false), Some(false));
         assert_eq!(s.queue_len, 2);
-        assert_eq!(s.queue[0], true);
-        assert_eq!(s.queue[1], true);
+        assert!(s.queue[0]);
+        assert!(s.queue[1]);
         assert_eq!(s.queue_pop_front(), Some(true));
         assert_eq!(s.queue_pop_matching(false), None);
     }
@@ -465,9 +494,27 @@ mod tests {
     fn mcq_fcfs_per_bank() {
         let mut s = State::reset();
         let c = cfg();
-        assert!(s.mcq_push(McEntry { from_tx: false, bank: true }, c.mc_cap));
-        assert!(s.mcq_push(McEntry { from_tx: true, bank: false }, c.mc_cap));
-        assert!(!s.mcq_push(McEntry { from_tx: true, bank: false }, c.mc_cap));
+        assert!(s.mcq_push(
+            McEntry {
+                from_tx: false,
+                bank: true
+            },
+            c.mc_cap
+        ));
+        assert!(s.mcq_push(
+            McEntry {
+                from_tx: true,
+                bank: false
+            },
+            c.mc_cap
+        ));
+        assert!(!s.mcq_push(
+            McEntry {
+                from_tx: true,
+                bank: false
+            },
+            c.mc_cap
+        ));
         let e = s.mcq_pop_first_bank(false).unwrap();
         assert!(e.from_tx);
         assert_eq!(s.mcq_len, 1);

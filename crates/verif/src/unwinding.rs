@@ -90,7 +90,10 @@ mod tests {
             ModelConfig::tiny(ShaperKind::Dagguise),
             ModelConfig::paper(ShaperKind::Dagguise),
         ] {
-            assert!(check_unwinding(&cfg).is_ok(), "unwinding must hold: {cfg:?}");
+            assert!(
+                check_unwinding(&cfg).is_ok(),
+                "unwinding must hold: {cfg:?}"
+            );
         }
     }
 

@@ -62,7 +62,10 @@ impl DnaWorkload {
     ///
     /// Returns the trace and the number of k-mer matches found.
     pub fn record(&self) -> (MemTrace, u64) {
-        assert!(self.buckets.is_power_of_two(), "buckets must be a power of two");
+        assert!(
+            self.buckets.is_power_of_two(),
+            "buckets must be a power of two"
+        );
         assert!(self.k < self.genome_len && self.k <= self.read_len);
 
         // Public genome.

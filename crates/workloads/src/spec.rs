@@ -51,21 +51,111 @@ pub struct SpecPreset {
 /// blender, wrf, xz, x264, nab, namd; compute-bound: deepsjeng,
 /// exchange2, leela, povray).
 pub const SPEC_PRESETS: [SpecPreset; 15] = [
-    SpecPreset { name: "blender", mpki: 3.0, working_set: 24 << 20, pattern: AccessPattern::Mixed { jump_prob: 0.2 }, write_share: 0.25 },
-    SpecPreset { name: "cactuBSSN", mpki: 11.0, working_set: 64 << 20, pattern: AccessPattern::Stream { stride: 64 }, write_share: 0.30 },
-    SpecPreset { name: "cam4", mpki: 7.0, working_set: 48 << 20, pattern: AccessPattern::Mixed { jump_prob: 0.3 }, write_share: 0.28 },
-    SpecPreset { name: "deepsjeng", mpki: 0.7, working_set: 6 << 20, pattern: AccessPattern::Random, write_share: 0.20 },
-    SpecPreset { name: "exchange2", mpki: 0.05, working_set: 1 << 20, pattern: AccessPattern::Random, write_share: 0.15 },
-    SpecPreset { name: "fotonik3d", mpki: 14.0, working_set: 96 << 20, pattern: AccessPattern::Stream { stride: 64 }, write_share: 0.33 },
-    SpecPreset { name: "lbm", mpki: 20.0, working_set: 128 << 20, pattern: AccessPattern::Stream { stride: 64 }, write_share: 0.45 },
-    SpecPreset { name: "leela", mpki: 0.3, working_set: 2 << 20, pattern: AccessPattern::Random, write_share: 0.18 },
-    SpecPreset { name: "nab", mpki: 1.5, working_set: 8 << 20, pattern: AccessPattern::Mixed { jump_prob: 0.4 }, write_share: 0.22 },
-    SpecPreset { name: "namd", mpki: 1.2, working_set: 8 << 20, pattern: AccessPattern::Mixed { jump_prob: 0.2 }, write_share: 0.20 },
-    SpecPreset { name: "povray", mpki: 0.1, working_set: 1 << 20, pattern: AccessPattern::Random, write_share: 0.12 },
-    SpecPreset { name: "roms", mpki: 12.0, working_set: 80 << 20, pattern: AccessPattern::Stream { stride: 64 }, write_share: 0.35 },
-    SpecPreset { name: "wrf", mpki: 5.0, working_set: 32 << 20, pattern: AccessPattern::Mixed { jump_prob: 0.25 }, write_share: 0.30 },
-    SpecPreset { name: "x264", mpki: 1.8, working_set: 12 << 20, pattern: AccessPattern::Stream { stride: 128 }, write_share: 0.35 },
-    SpecPreset { name: "xz", mpki: 4.0, working_set: 32 << 20, pattern: AccessPattern::Random, write_share: 0.25 },
+    SpecPreset {
+        name: "blender",
+        mpki: 3.0,
+        working_set: 24 << 20,
+        pattern: AccessPattern::Mixed { jump_prob: 0.2 },
+        write_share: 0.25,
+    },
+    SpecPreset {
+        name: "cactuBSSN",
+        mpki: 11.0,
+        working_set: 64 << 20,
+        pattern: AccessPattern::Stream { stride: 64 },
+        write_share: 0.30,
+    },
+    SpecPreset {
+        name: "cam4",
+        mpki: 7.0,
+        working_set: 48 << 20,
+        pattern: AccessPattern::Mixed { jump_prob: 0.3 },
+        write_share: 0.28,
+    },
+    SpecPreset {
+        name: "deepsjeng",
+        mpki: 0.7,
+        working_set: 6 << 20,
+        pattern: AccessPattern::Random,
+        write_share: 0.20,
+    },
+    SpecPreset {
+        name: "exchange2",
+        mpki: 0.05,
+        working_set: 1 << 20,
+        pattern: AccessPattern::Random,
+        write_share: 0.15,
+    },
+    SpecPreset {
+        name: "fotonik3d",
+        mpki: 14.0,
+        working_set: 96 << 20,
+        pattern: AccessPattern::Stream { stride: 64 },
+        write_share: 0.33,
+    },
+    SpecPreset {
+        name: "lbm",
+        mpki: 20.0,
+        working_set: 128 << 20,
+        pattern: AccessPattern::Stream { stride: 64 },
+        write_share: 0.45,
+    },
+    SpecPreset {
+        name: "leela",
+        mpki: 0.3,
+        working_set: 2 << 20,
+        pattern: AccessPattern::Random,
+        write_share: 0.18,
+    },
+    SpecPreset {
+        name: "nab",
+        mpki: 1.5,
+        working_set: 8 << 20,
+        pattern: AccessPattern::Mixed { jump_prob: 0.4 },
+        write_share: 0.22,
+    },
+    SpecPreset {
+        name: "namd",
+        mpki: 1.2,
+        working_set: 8 << 20,
+        pattern: AccessPattern::Mixed { jump_prob: 0.2 },
+        write_share: 0.20,
+    },
+    SpecPreset {
+        name: "povray",
+        mpki: 0.1,
+        working_set: 1 << 20,
+        pattern: AccessPattern::Random,
+        write_share: 0.12,
+    },
+    SpecPreset {
+        name: "roms",
+        mpki: 12.0,
+        working_set: 80 << 20,
+        pattern: AccessPattern::Stream { stride: 64 },
+        write_share: 0.35,
+    },
+    SpecPreset {
+        name: "wrf",
+        mpki: 5.0,
+        working_set: 32 << 20,
+        pattern: AccessPattern::Mixed { jump_prob: 0.25 },
+        write_share: 0.30,
+    },
+    SpecPreset {
+        name: "x264",
+        mpki: 1.8,
+        working_set: 12 << 20,
+        pattern: AccessPattern::Stream { stride: 128 },
+        write_share: 0.35,
+    },
+    SpecPreset {
+        name: "xz",
+        mpki: 4.0,
+        working_set: 32 << 20,
+        pattern: AccessPattern::Random,
+        write_share: 0.25,
+    },
 ];
 
 /// Names of the fifteen presets, in Figure 9 order.
@@ -147,7 +237,9 @@ mod tests {
     #[test]
     fn memory_bound_presets_emit_more_ops() {
         let lbm = SpecPreset::by_name("lbm").unwrap().generate(100_000, 0, 1);
-        let leela = SpecPreset::by_name("leela").unwrap().generate(100_000, 0, 1);
+        let leela = SpecPreset::by_name("leela")
+            .unwrap()
+            .generate(100_000, 0, 1);
         assert!(
             lbm.len() > leela.len() * 10,
             "lbm {} vs leela {}",
@@ -171,7 +263,9 @@ mod tests {
 
     #[test]
     fn streaming_addresses_are_sequential() {
-        let t = SpecPreset::by_name("lbm").unwrap().generate(10_000, 1 << 30, 3);
+        let t = SpecPreset::by_name("lbm")
+            .unwrap()
+            .generate(10_000, 1 << 30, 3);
         let reads: Vec<u64> = t.ops().iter().map(|o| o.addr).collect();
         assert!(reads.len() > 10);
         for w in reads.windows(2) {

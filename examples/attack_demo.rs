@@ -11,7 +11,9 @@ use dg_attacks::{distinguishable, LeakVerdict, ProbeCore};
 use dg_cache::SetAssocCache;
 use dg_cpu::TraceCore;
 use dg_defenses::{CamouflageShaper, FixedService, FsConfig, IntervalDistribution};
-use dg_mem::{DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory};
+use dg_mem::{
+    DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory,
+};
 
 #[derive(Clone, Copy)]
 enum Defense {

@@ -34,50 +34,75 @@ fn main() {
     };
     // Four instances of a moderately memory-bound SPEC-like co-runner.
     let spec = |slot: u64| {
-        SpecPreset::by_name("wrf")
-            .expect("preset exists")
-            .generate(300_000, (10 + slot) << 32, 99 + slot)
+        SpecPreset::by_name("wrf").expect("preset exists").generate(
+            300_000,
+            (10 + slot) << 32,
+            99 + slot,
+        )
     };
 
     let traces = || {
         vec![
-            doc(0), doc(1), dna(0), dna(1),
-            spec(0), spec(1), spec(2), spec(3),
+            doc(0),
+            doc(1),
+            dna(0),
+            dna(1),
+            spec(0),
+            spec(1),
+            spec(2),
+            spec(3),
         ]
     };
     let doc_def = RdagTemplate::new(4, 25, 0.25);
     let dna_def = RdagTemplate::new(8, 50, 0.125);
     let protection = vec![
-        Some(doc_def), Some(doc_def), Some(dna_def), Some(dna_def),
-        None, None, None, None,
+        Some(doc_def),
+        Some(doc_def),
+        Some(dna_def),
+        Some(dna_def),
+        None,
+        None,
+        None,
+        None,
     ];
 
-    let insecure = run_colocation(&cfg, traces(), MemoryKind::Insecure, u64::MAX / 2)
-        .expect("insecure run");
+    let insecure =
+        run_colocation(&cfg, traces(), MemoryKind::Insecure, u64::MAX / 2).expect("insecure run");
     let fs = run_colocation(&cfg, traces(), MemoryKind::FsBta, u64::MAX / 2).expect("fs run");
     let dag = run_colocation(
         &cfg,
         traces(),
-        MemoryKind::Dagguise { protected: protection },
+        MemoryKind::Dagguise {
+            protected: protection,
+        },
         u64::MAX / 2,
     )
     .expect("dagguise run");
 
-    let names = ["DocDist#0", "DocDist#1", "DNA#0", "DNA#1", "wrf#0", "wrf#1", "wrf#2", "wrf#3"];
+    let names = [
+        "DocDist#0",
+        "DocDist#1",
+        "DNA#0",
+        "DNA#1",
+        "wrf#0",
+        "wrf#1",
+        "wrf#2",
+        "wrf#3",
+    ];
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
         "core", "insecure IPC", "FS-BTA IPC", "DAGguise IPC", "FS norm", "DAG norm"
     );
     let mut fs_sum = 0.0;
     let mut dag_sum = 0.0;
-    for i in 0..8 {
+    for (i, name) in names.iter().enumerate() {
         let fs_n = fs.cores[i].ipc / insecure.cores[i].ipc;
         let dag_n = dag.cores[i].ipc / insecure.cores[i].ipc;
         fs_sum += fs_n;
         dag_sum += dag_n;
         println!(
             "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>10.3} {:>10.3}",
-            names[i], insecure.cores[i].ipc, fs.cores[i].ipc, dag.cores[i].ipc, fs_n, dag_n
+            name, insecure.cores[i].ipc, fs.cores[i].ipc, dag.cores[i].ipc, fs_n, dag_n
         );
     }
     println!(

@@ -30,13 +30,16 @@ fn main() {
 
     // Step 2 — sweep a small template search space, victim alone under
     // each candidate defense rDAG (no knowledge of co-runners needed!).
-    println!("{:>10} {:>8} {:>10} {:>12}", "sequences", "weight", "norm. IPC", "alloc (GB/s)");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12}",
+        "sequences", "weight", "norm. IPC", "alloc (GB/s)"
+    );
     let mut points = Vec::new();
     for &seqs in &[1u32, 2, 4, 8] {
         for &weight in &[25u64, 100, 200] {
             let t = RdagTemplate::new(seqs, weight, 0.125);
-            let p = profile_victim(&cfg, victim.clone(), t, base, u64::MAX / 2)
-                .expect("profile run");
+            let p =
+                profile_victim(&cfg, victim.clone(), t, base, u64::MAX / 2).expect("profile run");
             println!(
                 "{seqs:>10} {weight:>8} {:>10.3} {:>12.2}",
                 p.normalized_ipc, p.allocated_gbps

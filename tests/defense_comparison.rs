@@ -31,8 +31,13 @@ fn dagguise_frees_unused_victim_bandwidth_fs_does_not() {
     let victim = sparse(150, 0);
     let co = stream(4_000, 1 << 30, 10);
 
-    let fs = run_colocation(&cfg, vec![victim.clone(), co.clone()], MemoryKind::FsBta, BUDGET)
-        .expect("fs run");
+    let fs = run_colocation(
+        &cfg,
+        vec![victim.clone(), co.clone()],
+        MemoryKind::FsBta,
+        BUDGET,
+    )
+    .expect("fs run");
     let dag = run_colocation(
         &cfg,
         vec![victim, co],
@@ -124,8 +129,8 @@ fn closed_row_policy_costs_throughput() {
     for i in 0..600u64 {
         t.load((i % 128) * 64, 5); // heavy row locality
     }
-    let open = run_colocation(&cfg_open, vec![t.clone()], MemoryKind::Insecure, BUDGET)
-        .expect("open run");
+    let open =
+        run_colocation(&cfg_open, vec![t.clone()], MemoryKind::Insecure, BUDGET).expect("open run");
     // DAGguise with a dense rDAG (so shaping is not the bottleneck).
     let closed = run_colocation(
         &cfg_open,
@@ -152,7 +157,9 @@ fn every_defense_preserves_all_victim_requests() {
         MemoryKind::Insecure,
         MemoryKind::FixedService,
         MemoryKind::FsBta,
-        MemoryKind::TemporalPartition { slots_per_period: 16 },
+        MemoryKind::TemporalPartition {
+            slots_per_period: 16,
+        },
         MemoryKind::Dagguise {
             protected: vec![Some(RdagTemplate::new(4, 50, 0.25)), None],
         },

@@ -71,7 +71,11 @@ fn parallel_workload_extracts_with_many_roots() {
     assert_eq!(s.requests, 8);
     // All eight are in flight together; the conservative extractor infers
     // no dependencies among simultaneously-issued requests.
-    assert!(s.roots >= 4, "parallel issue must surface: {} roots", s.roots);
+    assert!(
+        s.roots >= 4,
+        "parallel issue must surface: {} roots",
+        s.roots
+    );
 }
 
 #[test]

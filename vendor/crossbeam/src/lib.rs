@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`, providing the `crossbeam::thread`
+//! scoped-threads API on top of `std::thread::scope` (which has existed
+//! since Rust 1.63 and makes the crossbeam implementation unnecessary for
+//! this workspace's fork-join fan-out).
+
+/// Scoped threads (`crossbeam::thread::scope`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to the `scope` closure and to each spawned thread,
+    /// mirroring crossbeam's `Scope` (whose `spawn` closures receive the
+    /// scope again so they can spawn nested work).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing-threads can be spawned;
+    /// joins them all before returning. Returns `Err` with the panic
+    /// payload if any spawned thread (or `f` itself) panicked, matching
+    /// crossbeam's signature.
+    ///
+    /// # Errors
+    ///
+    /// The boxed panic payload of whichever thread panicked first.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+                }
+            })
+            .expect("workers joined");
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

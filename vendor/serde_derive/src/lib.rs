@@ -1,0 +1,430 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in.
+//!
+//! No `syn`/`quote`: the input `TokenStream` is parsed directly (we only
+//! need the item's shape — field names, tuple arities, enum variants) and
+//! the impl is emitted as a string parsed back into a `TokenStream`.
+//! Field *types* are never inspected; the generated code leans on
+//! inference (`::serde::Deserialize::from_value(...)?` resolves from the
+//! field it is assigned to).
+//!
+//! Conventions mirror real serde: named structs serialize as maps in
+//! declaration order, newtype structs are transparent, tuple structs are
+//! sequences, unit enum variants are strings, and data-carrying variants
+//! are externally tagged (`{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-model `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-model `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    skip_generics(&mut it);
+
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+    (name, shape)
+}
+
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_generics(it: &mut Tokens) {
+    if !matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return;
+    }
+    let mut depth = 0i32;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field lists, returning the names in order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        // Parens/brackets arrive as atomic groups, so only `<`/`>` nest.
+        let mut angle = 0i32;
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    it.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated items at angle-depth 0 (tuple-struct arity).
+fn count_top_level_items(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut items = 0usize;
+    let mut in_item = false;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    in_item = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_item {
+            in_item = true;
+            items += 1;
+        }
+    }
+    items
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tok in it.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if s.len() != {n} {{\n\
+                     return Err(::serde::DeError::custom(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let s = inner.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected array\"))?;\n\
+                                     if s.len() != {n} {{\n\
+                                         return Err(::serde::DeError::custom(\"wrong arity\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let m = inner.as_map().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected object\"))?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                     return match s.as_str() {{\n\
+                         {}\n\
+                         _ => Err(::serde::DeError::custom(\"unknown variant for {name}\")),\n\
+                     }};\n\
+                 }}\n\
+                 if let Some((tag, inner)) = ::serde::variant(v) {{\n\
+                     let _ = inner;\n\
+                     return match tag {{\n\
+                         {}\n\
+                         _ => Err(::serde::DeError::custom(\"unknown variant for {name}\")),\n\
+                     }};\n\
+                 }}\n\
+                 Err(::serde::DeError::custom(\"expected enum value for {name}\"))",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+             {{ {body} }}\n\
+         }}"
+    )
+}
