@@ -15,4 +15,21 @@ cargo fmt --all --check
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== smoke sweep (dg-run: retry + resume + determinism) ==="
+# Four tiny jobs; examples/smoke.toml under-budgets one of them so the
+# first attempt hits SimError::Deadline and the escalated retry succeeds.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+DG_RUN=target/release/dg-run
+"$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
+  --journal "$SMOKE_DIR/smoke.jsonl" --out "$SMOKE_DIR/smoke.json"
+grep -q '"attempts": 2' "$SMOKE_DIR/smoke.json" \
+  || { echo "smoke: expected the under-budgeted job to need a retry"; exit 1; }
+# Resuming from the journal skips everything and reproduces the report
+# byte-for-byte at a different worker count.
+"$DG_RUN" examples/smoke.toml --quiet --jobs 1 --retries 2 --escalation 1000 \
+  --resume "$SMOKE_DIR/smoke.jsonl" --out "$SMOKE_DIR/smoke_resumed.json"
+cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/smoke_resumed.json" \
+  || { echo "smoke: resumed report differs from the original"; exit 1; }
+
 echo "CI passed."

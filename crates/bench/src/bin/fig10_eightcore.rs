@@ -5,16 +5,18 @@
 //! Paper shape: DAGguise ≈ 34% system slowdown vs insecure, ≈ 12% average
 //! speedup over FS-BTA, with most applications (not just unprotected
 //! ones) improving relative to FS-BTA.
+//!
+//! One sweep job per SPEC app, driven by `dg-runner` (work stealing,
+//! `--jobs`, `--journal`/`--resume` checkpointing, retries).
 
-use crossbeam::thread;
+use dg_runner::{run_sweep, JobDesc};
 use dg_sim::config::SystemConfig;
 use dg_sim::stats::geomean;
 use dg_system::{run_colocation, MemoryKind};
 use dg_workloads::spec_names;
-use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Serialize, Clone)]
+#[derive(Serialize, Deserialize, Clone)]
 struct AppResult {
     app: String,
     fs_bta_avg: f64,
@@ -26,6 +28,18 @@ struct Fig10Data {
     apps: Vec<AppResult>,
     geomean_fs_bta: f64,
     geomean_dagguise: f64,
+}
+
+struct AppJob {
+    id: String,
+    slot: u64,
+    app: &'static str,
+}
+
+impl JobDesc for AppJob {
+    fn id(&self) -> &str {
+        &self.id
+    }
 }
 
 fn main() {
@@ -46,74 +60,66 @@ fn main() {
     let doc_def = dg_bench::workloads::docdist_defense();
     let dna_def = dg_bench::workloads::dna_defense();
 
-    let apps = spec_names();
-    let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
-    let jobs: Mutex<Vec<(usize, &str)>> = Mutex::new(apps.iter().copied().enumerate().collect());
-    let n_workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(16);
+    let jobs: Vec<AppJob> = spec_names()
+        .iter()
+        .enumerate()
+        .map(|(slot, app)| AppJob {
+            id: format!("fig10/{app}"),
+            slot: slot as u64,
+            app,
+        })
+        .collect();
 
-    thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let (slot, app) = match jobs.lock().pop() {
-                    Some(j) => j,
-                    None => break,
-                };
-                // Four victims + four identical SPEC instances.
-                let traces = || {
-                    vec![
-                        doc0.clone(),
-                        doc1.clone(),
-                        dna0.clone(),
-                        dna1.clone(),
-                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4),
-                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 1),
-                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 2),
-                        dg_bench::workloads::spec_trace(&scale, app, slot as u64 * 4 + 3),
-                    ]
-                };
-                let protection = vec![
-                    Some(doc_def),
-                    Some(doc_def),
-                    Some(dna_def),
-                    Some(dna_def),
-                    None,
-                    None,
-                    None,
-                    None,
-                ];
-                let run = |kind: MemoryKind| {
-                    run_colocation(&cfg, traces(), kind, scale.budget)
-                        .unwrap_or_else(|e| panic!("{app}: {e}"))
-                };
-                let insecure = run(MemoryKind::Insecure);
-                let fs = run(MemoryKind::FsBta);
-                let dag = run(MemoryKind::Dagguise {
-                    protected: protection,
-                });
-                let avg_norm = |r: &dg_system::ColocationResult| {
-                    (0..8)
-                        .map(|i| r.cores[i].ipc / insecure.cores[i].ipc)
-                        .sum::<f64>()
-                        / 8.0
-                };
-                let res = AppResult {
-                    app: app.to_string(),
-                    fs_bta_avg: avg_norm(&fs),
-                    dagguise_avg: avg_norm(&dag),
-                };
-                eprintln!(
-                    "{:>10}: FS-BTA {:.3}  DAGguise {:.3}",
-                    app, res.fs_bta_avg, res.dagguise_avg
-                );
-                results.lock().push(res);
-            });
-        }
+    let outcome = run_sweep(&args.runner_config(), &jobs, |job, ctx| {
+        // Four victims + four identical SPEC instances.
+        let traces = || {
+            vec![
+                doc0.clone(),
+                doc1.clone(),
+                dna0.clone(),
+                dna1.clone(),
+                dg_bench::workloads::spec_trace(&scale, job.app, job.slot * 4),
+                dg_bench::workloads::spec_trace(&scale, job.app, job.slot * 4 + 1),
+                dg_bench::workloads::spec_trace(&scale, job.app, job.slot * 4 + 2),
+                dg_bench::workloads::spec_trace(&scale, job.app, job.slot * 4 + 3),
+            ]
+        };
+        let protection = vec![
+            Some(doc_def),
+            Some(doc_def),
+            Some(dna_def),
+            Some(dna_def),
+            None,
+            None,
+            None,
+            None,
+        ];
+        let budget = ctx.budget(scale.budget);
+        let run = |kind: MemoryKind| run_colocation(&cfg, traces(), kind, budget);
+        let insecure = run(MemoryKind::Insecure)?;
+        let fs = run(MemoryKind::FsBta)?;
+        let dag = run(MemoryKind::Dagguise {
+            protected: protection,
+        })?;
+        let avg_norm = |r: &dg_system::ColocationResult| {
+            (0..8)
+                .map(|i| r.cores[i].ipc / insecure.cores[i].ipc)
+                .sum::<f64>()
+                / 8.0
+        };
+        Ok(AppResult {
+            app: job.app.to_string(),
+            fs_bta_avg: avg_norm(&fs),
+            dagguise_avg: avg_norm(&dag),
+        })
     })
-    .expect("workers joined");
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
-    let mut apps_res = results.into_inner();
+    let complete = outcome.report_failures();
+    let mut apps_res: Vec<AppResult> = outcome.outputs().map(|(_, r)| r.clone()).collect();
     apps_res.sort_by(|a, b| a.app.cmp(&b.app));
 
     let g_fs = geomean(&apps_res.iter().map(|r| r.fs_bta_avg).collect::<Vec<_>>()).unwrap_or(0.0);
@@ -163,15 +169,16 @@ fn main() {
     // Representative observed run for --metrics / --trace: the full
     // eight-core DAGguise mix with the first SPEC app.
     if args.observing() {
+        let app0 = spec_names()[0];
         let traces = vec![
             doc0,
             doc1,
             dna0,
             dna1,
-            dg_bench::workloads::spec_trace(&scale, apps[0], 0),
-            dg_bench::workloads::spec_trace(&scale, apps[0], 1),
-            dg_bench::workloads::spec_trace(&scale, apps[0], 2),
-            dg_bench::workloads::spec_trace(&scale, apps[0], 3),
+            dg_bench::workloads::spec_trace(&scale, app0, 0),
+            dg_bench::workloads::spec_trace(&scale, app0, 1),
+            dg_bench::workloads::spec_trace(&scale, app0, 2),
+            dg_bench::workloads::spec_trace(&scale, app0, 3),
         ];
         let protection = vec![
             Some(doc_def),
@@ -196,5 +203,9 @@ fn main() {
             Ok((_, report, events)) => args.export(&report, &events),
             Err(e) => eprintln!("warning: observed run failed: {e}"),
         }
+    }
+
+    if !complete {
+        std::process::exit(1);
     }
 }

@@ -5,11 +5,15 @@
 //! shaper's outputs still differ (the ordering of the 200/400-cycle
 //! intervals leaks). The same victims shaped by DAGguise produce
 //! bit-identical output schedules.
+//!
+//! The four shaper drives (Camouflage/DAGguise × secret 0/1) run as
+//! `dg-runner` sweep jobs.
 
 use dagguise::{Shaper, ShaperConfig};
 use dg_defenses::{CamouflageShaper, IntervalDistribution};
 use dg_mem::DomainShaper;
 use dg_rdag::template::RdagTemplate;
+use dg_runner::{run_sweep, JobDesc};
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::types::{DomainId, MemRequest, MemResponse, ReqId};
@@ -69,33 +73,86 @@ struct Fig2Data {
     dagguise_leaks: bool,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum ShaperKind {
+    Camouflage,
+    Dagguise,
+}
+
+struct DriveJob {
+    id: String,
+    shaper: ShaperKind,
+    secret: usize,
+}
+
+impl JobDesc for DriveJob {
+    fn id(&self) -> &str {
+        &self.id
+    }
+}
+
 fn main() {
     let args = dg_bench::parse_harness_args();
     let mut cfg = SystemConfig::two_core();
     cfg.clock_ratio = dg_sim::clock::ClockRatio::new(1);
 
     // Secret 0: early burst of requests. Secret 1: late burst.
-    let secret0: Vec<Cycle> = vec![100, 180, 400];
-    let secret1: Vec<Cycle> = vec![1500, 1580, 1800];
+    let secrets: [Vec<Cycle>; 2] = [vec![100, 180, 400], vec![1500, 1580, 1800]];
     let horizon = 3600;
 
-    let cam = |inject: &[Cycle]| {
-        let mut s = CamouflageShaper::new(DomainId(0), IntervalDistribution::figure2(), &cfg, 7);
-        drive(&mut s, inject, horizon, 30)
-    };
-    let dag = |inject: &[Cycle]| {
-        let mut s = Shaper::new(ShaperConfig::from_system(
-            DomainId(0),
-            RdagTemplate::new(1, 150, 0.0),
-            &cfg,
-        ));
-        drive(&mut s, inject, horizon, 30)
-    };
+    let jobs: Vec<DriveJob> = [ShaperKind::Camouflage, ShaperKind::Dagguise]
+        .into_iter()
+        .flat_map(|shaper| {
+            (0..2).map(move |secret| DriveJob {
+                id: format!(
+                    "fig2/{}-s{secret}",
+                    match shaper {
+                        ShaperKind::Camouflage => "camouflage",
+                        ShaperKind::Dagguise => "dagguise",
+                    }
+                ),
+                shaper,
+                secret,
+            })
+        })
+        .collect();
 
-    let c0 = cam(&secret0);
-    let c1 = cam(&secret1);
-    let d0 = dag(&secret0);
-    let d1 = dag(&secret1);
+    let outcome = run_sweep(&args.runner_config(), &jobs, |job, _ctx| {
+        let inject = &secrets[job.secret];
+        Ok::<Vec<Cycle>, dg_sim::error::SimError>(match job.shaper {
+            ShaperKind::Camouflage => {
+                let mut s =
+                    CamouflageShaper::new(DomainId(0), IntervalDistribution::figure2(), &cfg, 7);
+                drive(&mut s, inject, horizon, 30)
+            }
+            ShaperKind::Dagguise => {
+                let mut s = Shaper::new(ShaperConfig::from_system(
+                    DomainId(0),
+                    RdagTemplate::new(1, 150, 0.0),
+                    &cfg,
+                ));
+                drive(&mut s, inject, horizon, 30)
+            }
+        })
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    if !outcome.report_failures() {
+        std::process::exit(1);
+    }
+    let schedule = |id: &str| {
+        outcome
+            .get(id)
+            .and_then(|r| r.output.clone())
+            .expect("all four drives succeeded")
+    };
+    let c0 = schedule("fig2/camouflage-s0");
+    let c1 = schedule("fig2/camouflage-s1");
+    let d0 = schedule("fig2/dagguise-s0");
+    let d1 = schedule("fig2/dagguise-s1");
 
     let rows = vec![
         vec![

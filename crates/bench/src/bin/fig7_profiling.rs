@@ -6,12 +6,15 @@
 //! candidate. Prints (a) normalized IPC vs weight, (b) allocated
 //! bandwidth vs weight, (c) IPC vs bandwidth, and the selected rDAG from
 //! the 2–4 GB/s cost-effective band.
+//!
+//! One sweep job per candidate template, driven by `dg-runner`; slow
+//! candidates that exceed the profiling budget retry with an escalated
+//! budget before being reported as failures.
 
-use crossbeam::thread;
 use dg_rdag::template::RdagTemplate;
+use dg_runner::{run_sweep, JobDesc};
 use dg_sim::config::SystemConfig;
 use dg_system::profile::{baseline_alone, profile_victim, select_defense_rdag, ProfilePoint};
-use parking_lot::Mutex;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,6 +23,17 @@ struct Fig7Data {
     points: Vec<ProfilePoint>,
     selected_sequences: u32,
     selected_weight: u64,
+}
+
+struct CandidateJob {
+    id: String,
+    template: RdagTemplate,
+}
+
+impl JobDesc for CandidateJob {
+    fn id(&self) -> &str {
+        &self.id
+    }
 }
 
 fn main() {
@@ -36,30 +50,30 @@ fn main() {
     // produces substantial write-back traffic (see EXPERIMENTS.md), so the
     // sweep uses the profiled 1/4 ratio — otherwise candidates with sparse
     // write slots starve the victim's write-backs.
-    let space = RdagTemplate::search_space(0.25);
-    let results: Mutex<Vec<ProfilePoint>> = Mutex::new(Vec::new());
-    let n_workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(16);
-    let jobs: Mutex<Vec<RdagTemplate>> = Mutex::new(space.clone());
+    let jobs: Vec<CandidateJob> = RdagTemplate::search_space(0.25)
+        .into_iter()
+        .map(|template| CandidateJob {
+            id: format!("fig7/{}x{}", template.sequences, template.weight),
+            template,
+        })
+        .collect();
 
-    thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let t = match jobs.lock().pop() {
-                    Some(t) => t,
-                    None => break,
-                };
-                match profile_victim(&cfg, victim.clone(), t, baseline, scale.budget / 4) {
-                    Ok(p) => results.lock().push(p),
-                    Err(e) => eprintln!("candidate {t:?} failed: {e}"),
-                }
-            });
-        }
+    let outcome = run_sweep(&args.runner_config(), &jobs, |job, ctx| {
+        profile_victim(
+            &cfg,
+            victim.clone(),
+            job.template,
+            baseline,
+            ctx.budget(scale.budget / 4),
+        )
     })
-    .expect("workers joined");
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
-    let mut points = results.into_inner();
+    let complete = outcome.report_failures();
+    let mut points: Vec<ProfilePoint> = outcome.outputs().map(|(_, p)| *p).collect();
     points.sort_by_key(|p| (p.template.sequences, p.template.weight));
 
     // Panel (a)+(b): per sequence count, IPC and bandwidth vs weight.
@@ -134,5 +148,9 @@ fn main() {
             Ok((_, report, events)) => args.export(&report, &events),
             Err(e) => eprintln!("warning: observed run failed: {e}"),
         }
+    }
+
+    if !complete {
+        std::process::exit(1);
     }
 }

@@ -5,16 +5,18 @@
 //! Paper shape to reproduce: DAGguise ≈ 10% average system slowdown,
 //! ≈ 6% better than FS-BTA overall; the SPEC side does markedly better
 //! under DAGguise (≈ 20% on average) while DocDist does somewhat worse.
+//!
+//! One sweep job per SPEC app, driven by `dg-runner` (work stealing,
+//! `--jobs`, `--journal`/`--resume` checkpointing, retries).
 
-use crossbeam::thread;
+use dg_runner::{run_sweep, JobDesc};
 use dg_sim::config::SystemConfig;
 use dg_sim::stats::geomean;
 use dg_system::{run_colocation, MemoryKind};
 use dg_workloads::spec_names;
-use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Serialize, Clone)]
+#[derive(Serialize, Deserialize, Clone)]
 struct AppResult {
     app: String,
     fs_bta_avg: f64,
@@ -32,6 +34,18 @@ struct Fig9Data {
     geomean_dagguise: f64,
 }
 
+struct AppJob {
+    id: String,
+    slot: u64,
+    app: &'static str,
+}
+
+impl JobDesc for AppJob {
+    fn id(&self) -> &str {
+        &self.id
+    }
+}
+
 fn main() {
     let args = dg_bench::parse_harness_args();
     let scale = args.scale;
@@ -39,54 +53,46 @@ fn main() {
     let victim = dg_bench::workloads::docdist_trace(&scale, 0);
     let defense = dg_bench::workloads::docdist_defense();
 
-    let apps = spec_names();
-    let results: Mutex<Vec<AppResult>> = Mutex::new(Vec::new());
-    let jobs: Mutex<Vec<(usize, &str)>> = Mutex::new(apps.iter().copied().enumerate().collect());
-    let n_workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(16);
+    let jobs: Vec<AppJob> = spec_names()
+        .iter()
+        .enumerate()
+        .map(|(slot, app)| AppJob {
+            id: format!("fig9/{app}"),
+            slot: slot as u64,
+            app,
+        })
+        .collect();
 
-    thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let (slot, app) = match jobs.lock().pop() {
-                    Some(j) => j,
-                    None => break,
-                };
-                let co = dg_bench::workloads::spec_trace(&scale, app, slot as u64);
-                let run = |kind: MemoryKind| {
-                    run_colocation(&cfg, vec![victim.clone(), co.clone()], kind, scale.budget)
-                        .unwrap_or_else(|e| panic!("{app}: {e}"))
-                };
-                let insecure = run(MemoryKind::Insecure);
-                let fs = run(MemoryKind::FsBta);
-                let dag = run(MemoryKind::Dagguise {
-                    protected: vec![Some(defense), None],
-                });
+    let outcome = run_sweep(&args.runner_config(), &jobs, |job, ctx| {
+        let co = dg_bench::workloads::spec_trace(&scale, job.app, job.slot);
+        let budget = ctx.budget(scale.budget);
+        let run =
+            |kind: MemoryKind| run_colocation(&cfg, vec![victim.clone(), co.clone()], kind, budget);
+        let insecure = run(MemoryKind::Insecure)?;
+        let fs = run(MemoryKind::FsBta)?;
+        let dag = run(MemoryKind::Dagguise {
+            protected: vec![Some(defense), None],
+        })?;
 
-                let norm = |r: &dg_system::ColocationResult, i: usize| {
-                    r.cores[i].ipc / insecure.cores[i].ipc
-                };
-                let res = AppResult {
-                    app: app.to_string(),
-                    fs_bta_victim: norm(&fs, 0),
-                    fs_bta_spec: norm(&fs, 1),
-                    fs_bta_avg: (norm(&fs, 0) + norm(&fs, 1)) / 2.0,
-                    dagguise_victim: norm(&dag, 0),
-                    dagguise_spec: norm(&dag, 1),
-                    dagguise_avg: (norm(&dag, 0) + norm(&dag, 1)) / 2.0,
-                };
-                eprintln!(
-                    "{:>10}: FS-BTA {:.3}  DAGguise {:.3}",
-                    app, res.fs_bta_avg, res.dagguise_avg
-                );
-                results.lock().push(res);
-            });
-        }
+        let norm =
+            |r: &dg_system::ColocationResult, i: usize| r.cores[i].ipc / insecure.cores[i].ipc;
+        Ok(AppResult {
+            app: job.app.to_string(),
+            fs_bta_victim: norm(&fs, 0),
+            fs_bta_spec: norm(&fs, 1),
+            fs_bta_avg: (norm(&fs, 0) + norm(&fs, 1)) / 2.0,
+            dagguise_victim: norm(&dag, 0),
+            dagguise_spec: norm(&dag, 1),
+            dagguise_avg: (norm(&dag, 0) + norm(&dag, 1)) / 2.0,
+        })
     })
-    .expect("workers joined");
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
-    let mut apps_res = results.into_inner();
+    let complete = outcome.report_failures();
+    let mut apps_res: Vec<AppResult> = outcome.outputs().map(|(_, r)| r.clone()).collect();
     apps_res.sort_by(|a, b| a.app.cmp(&b.app));
 
     let rows: Vec<Vec<String>> = apps_res
@@ -154,7 +160,7 @@ fn main() {
     // Representative observed run for --metrics / --trace: the DocDist
     // victim against the first SPEC app under DAGguise.
     if args.observing() {
-        let co = dg_bench::workloads::spec_trace(&scale, apps[0], 0);
+        let co = dg_bench::workloads::spec_trace(&scale, spec_names()[0], 0);
         match dg_system::run_colocation_observed(
             &cfg,
             vec![victim, co],
@@ -168,5 +174,9 @@ fn main() {
             Ok((_, report, events)) => args.export(&report, &events),
             Err(e) => eprintln!("warning: observed run failed: {e}"),
         }
+    }
+
+    if !complete {
+        std::process::exit(1);
     }
 }

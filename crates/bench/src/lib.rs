@@ -20,6 +20,7 @@
 //! series as JSON under `results/`.
 
 use dg_obs::{chrome_trace_json, Event, RunReport};
+use dg_runner::RunnerConfig;
 use dg_system::ObsConfig;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -46,14 +47,21 @@ pub fn parse_args() -> Scale {
     }
 }
 
-/// Common harness command line: scale plus observability artifact paths.
+/// Common harness command line: scale, observability artifact paths, and
+/// sweep-orchestration options.
 ///
 /// Every `fig*`/experiment binary accepts:
 ///
 /// * `--full` — paper-scale workloads (quick scale is the default);
 /// * `--metrics <path>` — write the run's [`RunReport`] JSON there;
 /// * `--trace <path>` — write a Chrome `trace_event` JSON there
-///   (load it in Perfetto / `chrome://tracing`).
+///   (load it in Perfetto / `chrome://tracing`);
+/// * `--jobs N` — worker threads for the sweep (falls back to the
+///   `DG_JOBS` environment variable, then host parallelism);
+/// * `--journal <path>` — append per-job checkpoints there;
+/// * `--resume <path>` — skip jobs already completed in that journal
+///   (typically the same path as `--journal`);
+/// * `--retries N` — extra attempts for jobs hitting their cycle budget.
 #[derive(Debug, Clone, Default)]
 pub struct HarnessArgs {
     /// Workload scale selected by `--full`.
@@ -62,6 +70,14 @@ pub struct HarnessArgs {
     pub metrics: Option<PathBuf>,
     /// Destination for the Chrome trace JSON, if requested.
     pub trace: Option<PathBuf>,
+    /// Explicit `--jobs` worker-count override.
+    pub jobs: Option<usize>,
+    /// Journal path from `--journal`.
+    pub journal: Option<PathBuf>,
+    /// Resume journal path from `--resume`.
+    pub resume: Option<PathBuf>,
+    /// Retry-count override from `--retries`.
+    pub retries: Option<u32>,
 }
 
 impl HarnessArgs {
@@ -78,6 +94,20 @@ impl HarnessArgs {
             trace_capacity: self.trace.is_some().then_some(DEFAULT_TRACE_CAPACITY),
             interval_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
         }
+    }
+
+    /// The sweep-orchestration config matching the parsed flags.
+    pub fn runner_config(&self) -> RunnerConfig {
+        let mut cfg = RunnerConfig {
+            jobs: dg_runner::effective_jobs(self.jobs),
+            journal: self.journal.clone(),
+            resume: self.resume.clone(),
+            ..RunnerConfig::default()
+        };
+        if let Some(r) = self.retries {
+            cfg.retries = r;
+        }
+        cfg
     }
 
     /// Writes the requested artifacts. Like [`write_results`], failures
@@ -112,24 +142,37 @@ fn write_artifact(path: &Path, contents: &str) {
 pub fn parse_harness_args() -> HarnessArgs {
     let mut out = HarnessArgs {
         scale: Scale::quick(),
-        metrics: None,
-        trace: None,
+        ..HarnessArgs::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let mut value = |flag: &str| -> String {
+            let Some(v) = args.next() else {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            };
+            v
+        };
         match a.as_str() {
             "--full" => out.scale = Scale::paper(),
-            "--metrics" | "--trace" => {
-                let Some(v) = args.next() else {
-                    eprintln!("error: {a} requires a path argument");
+            "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--trace" => out.trace = Some(PathBuf::from(value("--trace"))),
+            "--journal" => out.journal = Some(PathBuf::from(value("--journal"))),
+            "--resume" => out.resume = Some(PathBuf::from(value("--resume"))),
+            "--jobs" => match value("--jobs").parse::<usize>() {
+                Ok(n) if n > 0 => out.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs must be a positive integer");
                     std::process::exit(2);
-                };
-                if a == "--metrics" {
-                    out.metrics = Some(PathBuf::from(v));
-                } else {
-                    out.trace = Some(PathBuf::from(v));
                 }
-            }
+            },
+            "--retries" => match value("--retries").parse::<u32>() {
+                Ok(n) => out.retries = Some(n),
+                Err(_) => {
+                    eprintln!("error: --retries must be an integer");
+                    std::process::exit(2);
+                }
+            },
             _ => {}
         }
     }

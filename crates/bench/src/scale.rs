@@ -1,68 +1,6 @@
 //! Workload scale presets.
+//!
+//! The type moved to `dg-runner` (experiment specs name scales there);
+//! this re-export keeps every harness call site unchanged.
 
-use serde::{Deserialize, Serialize};
-
-/// Sizes for the experiment workloads. `quick` keeps the whole harness
-/// suite in the minutes range; `paper` approaches the paper's 50M
-/// instruction SimPoint intervals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Scale {
-    /// DocDist vocabulary (feature-vector entries).
-    pub docdist_vocab: u64,
-    /// DocDist input-document words.
-    pub docdist_words: u64,
-    /// DNA genome length in bases.
-    pub dna_genome: usize,
-    /// DNA read length in bases.
-    pub dna_read: usize,
-    /// Instructions per SPEC co-runner trace.
-    pub spec_instructions: u64,
-    /// Cycle budget per run.
-    pub budget: u64,
-}
-
-impl Default for Scale {
-    fn default() -> Self {
-        Self::quick()
-    }
-}
-
-impl Scale {
-    /// Fast preset (default): full curve shapes in minutes.
-    pub fn quick() -> Self {
-        Self {
-            docdist_vocab: 128 * 1024,
-            docdist_words: 6_000,
-            dna_genome: 32 * 1024,
-            dna_read: 800,
-            spec_instructions: 1_000_000,
-            budget: 400_000_000,
-        }
-    }
-
-    /// Paper-scale preset (`--full`).
-    pub fn paper() -> Self {
-        Self {
-            docdist_vocab: 512 * 1024,
-            docdist_words: 60_000,
-            dna_genome: 256 * 1024,
-            dna_read: 3_000,
-            spec_instructions: 20_000_000,
-            budget: 4_000_000_000,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_scale_is_larger() {
-        let q = Scale::quick();
-        let p = Scale::paper();
-        assert!(p.docdist_vocab >= q.docdist_vocab);
-        assert!(p.spec_instructions > q.spec_instructions);
-        assert!(p.budget > q.budget);
-    }
-}
+pub use dg_runner::scale::Scale;

@@ -17,6 +17,10 @@
 //!   run (per-core IPC, per-domain traffic and latency histograms, shaper
 //!   conformance, DRAM energy) plus the [`IntervalSampler`] time series
 //!   into one serializable artifact.
+//! * **Sweep progress** — a [`ProgressMeter`] shared by the workers of an
+//!   experiment sweep (`dg-runner`) counts completions, retries and
+//!   failures, reports live throughput, and snapshots into a
+//!   [`SweepProgress`].
 //!
 //! Determinism is part of the contract: with a fixed seed, both the event
 //! stream and its JSON encodings are byte-identical across runs.
@@ -24,12 +28,14 @@
 pub mod chrome;
 pub mod event;
 pub mod interval;
+pub mod progress;
 pub mod report;
 pub mod tracer;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use event::{BankCmd, Event, EventKind};
 pub use interval::{IntervalSample, IntervalSampler};
+pub use progress::{ProgressMeter, SweepProgress};
 pub use report::{
     CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot, RunMeta, RunReport,
     ShaperReport, TraceSummary,

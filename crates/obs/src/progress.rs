@@ -1,0 +1,178 @@
+//! Sweep-level progress and throughput accounting.
+//!
+//! A [`ProgressMeter`] is shared by every worker of an experiment sweep
+//! (`dg-runner`); each terminal job completion bumps the counters and
+//! optionally emits a one-line progress report to stderr. At the end of the
+//! sweep [`ProgressMeter::summary`] snapshots the totals into a
+//! serializable [`SweepProgress`].
+//!
+//! Wall-clock derived numbers (elapsed, jobs/s, ETA) are *display-only*:
+//! they never enter the canonical merged sweep report, which must be
+//! byte-identical across reruns, resumes, and worker counts.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Final counters of a sweep, serializable into run artifacts.
+///
+/// Only deterministic fields (`total`, `succeeded`, `failed`, `skipped`,
+/// `retries`) belong in canonical reports; `elapsed_ms` and
+/// `jobs_per_sec` are measurement noise and are kept separate by callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepProgress {
+    /// Jobs the sweep set out to run (including journal-skipped ones).
+    pub total: u64,
+    /// Jobs that completed successfully this run.
+    pub succeeded: u64,
+    /// Jobs that exhausted their retries or panicked.
+    pub failed: u64,
+    /// Jobs skipped because a resume journal already had their result.
+    pub skipped: u64,
+    /// Extra attempts beyond each job's first (retry pressure).
+    pub retries: u64,
+    /// Wall-clock of the sweep in milliseconds.
+    pub elapsed_ms: u64,
+    /// Terminal completions per second of wall-clock (0 when instant).
+    pub jobs_per_sec: f64,
+}
+
+/// Thread-safe progress counter for a fixed-size job sweep.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    total: u64,
+    succeeded: AtomicU64,
+    failed: AtomicU64,
+    skipped: AtomicU64,
+    retries: AtomicU64,
+    started: Instant,
+    verbose: bool,
+}
+
+impl ProgressMeter {
+    /// Creates a meter for `total` jobs. When `verbose`, each completion
+    /// prints a progress line to stderr.
+    pub fn new(total: u64, verbose: bool) -> Self {
+        Self {
+            total,
+            succeeded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            started: Instant::now(),
+            verbose,
+        }
+    }
+
+    /// Records `n` jobs satisfied from a resume journal.
+    pub fn skipped(&self, n: u64) {
+        self.skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one extra attempt of a retried job.
+    pub fn retried(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a terminal job completion and, in verbose mode, prints a
+    /// `[done/total]` line with running throughput and a rough ETA.
+    pub fn job_done(&self, id: &str, ok: bool, attempts: u32) {
+        let counter = if ok { &self.succeeded } else { &self.failed };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if !self.verbose {
+            return;
+        }
+        let done = self.done();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.completed_here() as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(done);
+        let eta = if rate > 0.0 {
+            format!("{:.0}s", remaining as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        let verdict = if ok { "ok" } else { "FAILED" };
+        let retry_note = if attempts > 1 {
+            format!(" (attempt {attempts})")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[{done}/{}] {id} {verdict}{retry_note}  {rate:.2} jobs/s, eta {eta}",
+            self.total
+        );
+    }
+
+    /// Terminal completions so far, including journal-skipped jobs.
+    pub fn done(&self) -> u64 {
+        self.completed_here() + self.skipped.load(Ordering::Relaxed)
+    }
+
+    fn completed_here(&self) -> u64 {
+        self.succeeded.load(Ordering::Relaxed) + self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the sweep totals.
+    pub fn summary(&self) -> SweepProgress {
+        let elapsed = self.started.elapsed();
+        let elapsed_s = elapsed.as_secs_f64();
+        let completed = self.completed_here();
+        SweepProgress {
+            total: self.total,
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            elapsed_ms: elapsed.as_millis() as u64,
+            jobs_per_sec: if elapsed_s > 0.0 {
+                completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ProgressMeter::new(5, false);
+        m.skipped(1);
+        m.job_done("a", true, 1);
+        m.job_done("b", true, 3);
+        m.retried();
+        m.retried();
+        m.job_done("c", false, 1);
+        let s = m.summary();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.succeeded, 2);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.skipped, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(m.done(), 4);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let m = ProgressMeter::new(2, false);
+        m.job_done("x", true, 1);
+        let s = m.summary();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SweepProgress = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total, s.total);
+        assert_eq!(back.succeeded, s.succeeded);
+    }
+
+    #[test]
+    fn verbose_logging_does_not_panic() {
+        let m = ProgressMeter::new(1, true);
+        m.job_done("only-job", false, 2);
+    }
+}

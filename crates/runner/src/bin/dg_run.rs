@@ -1,0 +1,163 @@
+//! `dg-run`: execute an experiment spec through the orchestration runner.
+//!
+//! ```text
+//! dg-run spec.toml [--jobs N] [--journal PATH] [--resume PATH]
+//!                  [--retries N] [--backoff-ms N] [--escalation N]
+//!                  [--timeout-s N] [--out PATH] [--print-jobs] [--quiet]
+//! ```
+//!
+//! Exits nonzero if any job fails, printing the failing job ids with
+//! their errors. The merged report (`--out`, default
+//! `results/<name>.json`) contains only deterministic fields and is
+//! byte-identical for any `--jobs` value and across kill/`--resume`
+//! cycles. See EXPERIMENTS.md for the spec format.
+
+use dg_runner::{effective_jobs, ExperimentSpec, RunnerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    spec: PathBuf,
+    cfg: RunnerConfig,
+    out: Option<PathBuf>,
+    print_jobs: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dg-run <spec.toml|spec.json> [--jobs N] [--journal PATH] [--resume PATH]\n\
+         \x20              [--retries N] [--backoff-ms N] [--escalation N] [--timeout-s N]\n\
+         \x20              [--out PATH] [--print-jobs] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spec = None;
+    let mut cfg = RunnerConfig::default();
+    let mut jobs_flag = None;
+    let mut out = None;
+    let mut print_jobs = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => match value("--jobs").parse::<usize>() {
+                Ok(n) if n > 0 => jobs_flag = Some(n),
+                _ => {
+                    eprintln!("error: --jobs must be a positive integer");
+                    usage();
+                }
+            },
+            "--journal" => cfg.journal = Some(PathBuf::from(value("--journal"))),
+            "--resume" => cfg.resume = Some(PathBuf::from(value("--resume"))),
+            "--retries" => match value("--retries").parse() {
+                Ok(n) => cfg.retries = n,
+                Err(_) => usage(),
+            },
+            "--backoff-ms" => match value("--backoff-ms").parse() {
+                Ok(ms) => cfg.backoff = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--escalation" => match value("--escalation").parse() {
+                Ok(n) => cfg.escalation = n,
+                Err(_) => usage(),
+            },
+            "--timeout-s" => match value("--timeout-s").parse() {
+                Ok(s) => cfg.timeout = Some(Duration::from_secs(s)),
+                Err(_) => usage(),
+            },
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--print-jobs" => print_jobs = true,
+            "--quiet" => cfg.verbose = false,
+            "--help" | "-h" => usage(),
+            other if spec.is_none() && !other.starts_with('-') => {
+                spec = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg.jobs = effective_jobs(jobs_flag);
+    Args {
+        spec: spec.unwrap_or_else(|| usage()),
+        cfg,
+        out,
+        print_jobs,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let spec = match ExperimentSpec::load(&args.spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.print_jobs {
+        for job in spec.expand() {
+            println!("{}", job.id);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.cfg.verbose {
+        eprintln!(
+            "dg-run: sweep `{}` — {} jobs on {} workers",
+            spec.name,
+            spec.expand().len(),
+            args.cfg.jobs
+        );
+    }
+
+    let outcome = match spec.run(&args.cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let out_path = args
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.name)));
+    if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = outcome.merged_report_json(&spec.name);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    if args.cfg.verbose {
+        eprintln!(
+            "dg-run: wrote {} ({} jobs, {} retries, {:.1} jobs/s)",
+            out_path.display(),
+            outcome.progress.total,
+            outcome.progress.retries,
+            outcome.progress.jobs_per_sec
+        );
+    }
+
+    if outcome.report_failures() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

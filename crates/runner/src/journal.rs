@@ -1,0 +1,274 @@
+//! Crash-safe append-only job journal.
+//!
+//! One JSON object per line, flushed *and fsynced* after every terminal job
+//! completion, so a sweep killed at any instant loses at most the line
+//! being written. `dg-run --resume <journal>` replays the file, skips jobs
+//! that already succeeded, and re-runs the rest; a truncated or corrupt
+//! *trailing* line (the kill-mid-write case) is dropped with a warning,
+//! while corruption earlier in the file is reported as an error — that is
+//! not a crash artifact but a damaged journal.
+
+use crate::job::JobRecord;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+/// One journal line: a terminal [`JobRecord`] plus non-canonical wall-clock
+/// accounting (kept out of merged reports, which must be deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry<R> {
+    /// The stable job id.
+    pub id: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// The job's result when it succeeded.
+    pub output: Option<R>,
+    /// The failure message when it did not.
+    pub error: Option<String>,
+    /// Wall-clock milliseconds spent across all attempts (display only).
+    pub wall_ms: u64,
+}
+
+impl<R> JournalEntry<R> {
+    /// The deterministic portion of the entry.
+    pub fn into_record(self) -> JobRecord<R> {
+        JobRecord {
+            id: self.id,
+            attempts: self.attempts,
+            output: self.output,
+            error: self.error,
+        }
+    }
+}
+
+// Hand-written impls: the vendored serde derive does not handle generics.
+impl<R: Serialize> Serialize for JournalEntry<R> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_string(), self.id.to_value()),
+            ("attempts".to_string(), self.attempts.to_value()),
+            ("output".to_string(), self.output.to_value()),
+            ("error".to_string(), self.error.to_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_value()),
+        ])
+    }
+}
+
+impl<R: Deserialize> Deserialize for JournalEntry<R> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected object for JournalEntry"))?;
+        Ok(JournalEntry {
+            id: Deserialize::from_value(serde::field(m, "id")?)?,
+            attempts: Deserialize::from_value(serde::field(m, "attempts")?)?,
+            output: Deserialize::from_value(serde::field(m, "output")?)?,
+            error: Deserialize::from_value(serde::field(m, "error")?)?,
+            wall_ms: Deserialize::from_value(serde::field(m, "wall_ms")?)?,
+        })
+    }
+}
+
+/// Appends journal lines with write-through durability.
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Opens (creating directories as needed) a journal for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_append(path: &Path) -> io::Result<Self> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one entry as a JSON line and fsyncs it to disk before
+    /// returning, so a kill after this call can never lose the entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append<R: Serialize>(&mut self, entry: &JournalEntry<R>) -> io::Result<()> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
+    }
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug)]
+pub struct JournalReplay<R> {
+    /// Entries in file order (duplicates possible across resumes; callers
+    /// should treat the *last* entry per id as authoritative).
+    pub entries: Vec<JournalEntry<R>>,
+    /// Whether a partial/corrupt trailing line was dropped.
+    pub dropped_partial_tail: bool,
+    /// Byte length of the valid prefix — everything up to and including
+    /// the last well-formed line. When a partial tail was dropped, the
+    /// file must be truncated to this length before appending, or the
+    /// half-written line would end up mid-file and poison the next resume.
+    pub valid_len: u64,
+}
+
+/// Truncates a journal to its valid prefix (see
+/// [`JournalReplay::valid_len`]) and syncs the truncation to disk.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn truncate_journal(path: &Path, valid_len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_data()
+}
+
+/// Replays a journal file written by [`JournalWriter`].
+///
+/// A malformed *final* line is tolerated (a sweep killed mid-write leaves
+/// exactly that artifact) and reported via
+/// [`JournalReplay::dropped_partial_tail`]. A malformed line anywhere
+/// earlier is an error.
+///
+/// # Errors
+///
+/// Filesystem errors, or `InvalidData` on mid-file corruption.
+pub fn replay_journal<R: Deserialize>(path: &Path) -> io::Result<JournalReplay<R>> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+
+    // Non-empty lines with the byte offset just past each line's newline,
+    // so `valid_len` can point at the end of the last well-formed line.
+    let mut lines: Vec<(&str, u64)> = Vec::new();
+    let mut offset = 0u64;
+    for raw in text.split_inclusive('\n') {
+        offset += raw.len() as u64;
+        let content = raw.trim_end_matches(['\n', '\r']);
+        if !content.trim().is_empty() {
+            lines.push((content, offset));
+        }
+    }
+
+    let mut entries = Vec::with_capacity(lines.len());
+    let mut dropped_partial_tail = false;
+    let mut valid_len = 0u64;
+    for (i, (line, end)) in lines.iter().enumerate() {
+        match serde_json::from_str::<JournalEntry<R>>(line) {
+            Ok(e) => {
+                entries.push(e);
+                valid_len = *end;
+            }
+            Err(err) if i + 1 == lines.len() => {
+                eprintln!(
+                    "warning: dropping partial trailing journal line ({} bytes): {err}",
+                    line.len()
+                );
+                dropped_partial_tail = true;
+            }
+            Err(err) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt journal line {}: {err}", i + 1),
+                ));
+            }
+        }
+    }
+    Ok(JournalReplay {
+        entries,
+        dropped_partial_tail,
+        valid_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dg_runner_journal_{name}_{}", std::process::id()));
+        p
+    }
+
+    fn entry(id: &str, out: u64) -> JournalEntry<u64> {
+        JournalEntry {
+            id: id.to_string(),
+            attempts: 1,
+            output: Some(out),
+            error: None,
+            wall_ms: 3,
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = tmp("round_trip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("a", 1)).unwrap();
+        w.append(&entry("b", 2)).unwrap();
+        drop(w);
+        let replay = replay_journal::<u64>(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert!(!replay.dropped_partial_tail);
+        assert_eq!(replay.entries[1].output, Some(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("a", 1)).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: a half-written JSON line at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\":\"b\",\"atte");
+        std::fs::write(&path, text).unwrap();
+        let replay = replay_journal::<u64>(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert!(replay.dropped_partial_tail);
+
+        // Repairing to the valid prefix makes the file appendable again.
+        truncate_journal(&path, replay.valid_len).unwrap();
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("b", 2)).unwrap();
+        drop(w);
+        let replay = replay_journal::<u64>(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert!(!replay.dropped_partial_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_errors() {
+        let path = tmp("corrupt_mid");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "garbage\n{\"id\":\"a\",\"attempts\":1,\"output\":1,\"error\":null,\"wall_ms\":0}\n",
+        )
+        .unwrap();
+        let err = replay_journal::<u64>(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(replay_journal::<u64>(Path::new("/nonexistent/journal.jsonl")).is_err());
+    }
+}

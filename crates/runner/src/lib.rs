@@ -1,0 +1,42 @@
+//! `dg-runner`: checkpointed, work-stealing experiment orchestration.
+//!
+//! The figure harnesses and the `dg-run` CLI all drive their sweeps
+//! through this crate:
+//!
+//! * **Jobs** ([`job`]) — stable string ids, per-attempt context, and the
+//!   seed derivation that makes results independent of worker count.
+//! * **Pool** ([`pool`]) — a work-stealing thread pool over
+//!   `crossbeam::deque`, with `--jobs`/`DG_JOBS` resolution.
+//! * **Journal** ([`journal`]) — an append-only fsynced JSONL checkpoint
+//!   enabling `--resume` after a crash or kill.
+//! * **Runner** ([`runner`]) — supervision: retries with budget
+//!   escalation on [`SimError::Deadline`](dg_sim::error::SimError),
+//!   panic isolation, optional cooperative wall-clock timeouts, and
+//!   deterministic merging into a canonical report.
+//! * **Specs** ([`spec`], [`toml`]) — declarative TOML/JSON sweep grids
+//!   for `dg-run`.
+//! * **Material** ([`scale`], [`material`]) — workload scales and trace
+//!   builders shared with `dg-bench`.
+//!
+//! The invariant the whole crate is built around: a job's result is a
+//! pure function of its stable id and parameters. Scheduling order,
+//! worker count, resume history, and wall-clock time never leak into the
+//! merged report, so `dg-run --jobs 1` and `--jobs 16`, interrupted or
+//! not, produce byte-identical output.
+
+pub mod job;
+pub mod journal;
+pub mod material;
+pub mod pool;
+pub mod runner;
+pub mod scale;
+pub mod spec;
+pub mod toml;
+
+pub use job::{attempt_budget, job_seed, JobCtx, JobDesc, JobRecord};
+pub use journal::{replay_journal, JournalEntry, JournalReplay, JournalWriter};
+pub use pool::{effective_jobs, run_work_stealing};
+pub use runner::{run_sweep, RunnerConfig, SweepOutcome};
+pub use scale::Scale;
+pub use spec::{execute_job, ColocationJob, ExperimentSpec, GridSpec, OverrideSpec, VictimKind};
+pub use toml::parse_toml;

@@ -1,0 +1,421 @@
+//! The sweep orchestrator: scheduling, supervision, journaling, merging.
+//!
+//! [`run_sweep`] takes a deterministic job list and an executor and drives
+//! it through the work-stealing pool with:
+//!
+//! * **panic isolation** — each attempt runs under `catch_unwind`, so one
+//!   bad config point records a failure instead of killing the sweep;
+//! * **bounded retry with backoff** — attempts that return
+//!   [`SimError::Deadline`] are re-executed in place with an escalated
+//!   cycle budget (see [`JobCtx::budget`]) after a short exponential
+//!   backoff sleep, up to `retries` extra attempts;
+//! * **crash-safe journaling** — every terminal record is appended (and
+//!   fsynced) to the journal before the sweep moves on, enabling
+//!   `--resume`;
+//! * **deterministic merging** — the [`SweepOutcome`] sorts records by job
+//!   id, so the canonical merged report is byte-identical across worker
+//!   counts and across interrupted-then-resumed runs.
+
+use crate::job::{job_seed, JobCtx, JobDesc, JobRecord};
+use crate::journal::{replay_journal, JournalEntry, JournalWriter};
+use crate::pool::{effective_jobs, run_work_stealing};
+use dg_obs::{ProgressMeter, SweepProgress};
+use dg_sim::error::SimError;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Supervision policy for a sweep.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads (see [`effective_jobs`] for the default resolution).
+    pub jobs: usize,
+    /// Extra attempts granted to jobs that hit [`SimError::Deadline`].
+    pub retries: u32,
+    /// Base sleep before a retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Cycle-budget multiplier applied per retry attempt.
+    pub escalation: u64,
+    /// Optional per-attempt wall-clock timeout. Cooperative: executors
+    /// check [`JobCtx::expired`] between simulation chunks. Note that
+    /// wall-clock kills are inherently host-dependent; canonical sweeps
+    /// should bound work with cycle budgets instead.
+    pub timeout: Option<Duration>,
+    /// Journal path to append terminal records to.
+    pub journal: Option<PathBuf>,
+    /// Journal path to replay before running: jobs with a successful entry
+    /// are skipped. Usually the same path as `journal`.
+    pub resume: Option<PathBuf>,
+    /// Whether to print per-job progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            jobs: effective_jobs(None),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            escalation: 2,
+            timeout: None,
+            journal: None,
+            resume: None,
+            verbose: true,
+        }
+    }
+}
+
+/// The merged outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<R> {
+    /// One terminal record per job, sorted by job id.
+    pub records: Vec<JobRecord<R>>,
+    /// Scheduling statistics (wall-clock fields are display-only).
+    pub progress: SweepProgress,
+}
+
+impl<R> SweepOutcome<R> {
+    /// The records of jobs that failed.
+    pub fn failures(&self) -> Vec<&JobRecord<R>> {
+        self.records.iter().filter(|r| !r.is_ok()).collect()
+    }
+
+    /// Looks up a record by job id.
+    pub fn get(&self, id: &str) -> Option<&JobRecord<R>> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Iterates `(id, output)` over successful jobs.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, &R)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.output.as_ref().map(|o| (r.id.as_str(), o)))
+    }
+
+    /// Prints failing job ids with their errors to stderr and reports
+    /// whether the sweep fully succeeded. Harness binaries exit nonzero on
+    /// `false` — results must never be dropped silently.
+    pub fn report_failures(&self) -> bool {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return true;
+        }
+        eprintln!(
+            "error: {} of {} jobs failed:",
+            failures.len(),
+            self.records.len()
+        );
+        for f in &failures {
+            eprintln!(
+                "  {} — {} (after {} attempt{})",
+                f.id,
+                f.error.as_deref().unwrap_or("unknown error"),
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" }
+            );
+        }
+        false
+    }
+}
+
+impl<R: Serialize> SweepOutcome<R> {
+    /// The canonical merged report: pretty JSON with records in job-id
+    /// order and only deterministic fields. Byte-identical across worker
+    /// counts and across kill/`--resume` cycles of the same spec.
+    pub fn merged_report_json(&self, sweep_name: &str) -> String {
+        let jobs = Value::Seq(self.records.iter().map(Serialize::to_value).collect());
+        let doc = Value::Map(vec![
+            ("sweep".to_string(), sweep_name.to_value()),
+            ("jobs".to_string(), jobs),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("merged report serialization is infallible")
+    }
+}
+
+/// Runs `jobs` through the work-stealing pool under `cfg`, journaling
+/// terminal records and merging resumed results.
+///
+/// The executor must be a pure function of `(job, ctx)` — all randomness
+/// from `ctx.seed`, all work bounded by `ctx.budget(base)` — which is what
+/// makes the merged outcome independent of `cfg.jobs`.
+///
+/// # Errors
+///
+/// Duplicate job ids, an unreadable resume journal, or a journal write
+/// failure (results are computed but resume safety is lost, so the sweep
+/// reports the error rather than pretending the journal is intact).
+pub fn run_sweep<J, R, F>(cfg: &RunnerConfig, jobs: &[J], exec: F) -> io::Result<SweepOutcome<R>>
+where
+    J: JobDesc,
+    R: Serialize + Deserialize + Send,
+    F: Fn(&J, &JobCtx) -> Result<R, SimError> + Sync,
+{
+    let mut ids = BTreeSet::new();
+    for job in jobs {
+        if !ids.insert(job.id().to_string()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("duplicate job id `{}` in sweep", job.id()),
+            ));
+        }
+    }
+
+    // Replay the resume journal: last entry per id wins, successful
+    // entries short-circuit their job.
+    let mut resumed: BTreeMap<String, JournalEntry<R>> = BTreeMap::new();
+    if let Some(path) = &cfg.resume {
+        let replay = replay_journal::<R>(path)?;
+        if replay.dropped_partial_tail {
+            // Cut the half-written line off before we append to this file
+            // again; left in place it would sit mid-file and poison the
+            // next resume.
+            crate::journal::truncate_journal(path, replay.valid_len)?;
+        }
+        for entry in replay.entries {
+            resumed.insert(entry.id.clone(), entry);
+        }
+        // Entries for jobs not in this spec (stale journal reuse) are
+        // ignored rather than merged into the report.
+        resumed.retain(|id, e| ids.contains(id) && e.error.is_none());
+    }
+
+    let meter = ProgressMeter::new(jobs.len() as u64, cfg.verbose);
+    meter.skipped(resumed.len() as u64);
+
+    let journal_path = cfg.journal.as_ref().or(cfg.resume.as_ref());
+    let journal: Option<Mutex<JournalWriter>> = match journal_path {
+        Some(path) => Some(Mutex::new(JournalWriter::open_append(path)?)),
+        None => None,
+    };
+    let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    let pending: Vec<usize> = (0..jobs.len())
+        .filter(|&i| !resumed.contains_key(jobs[i].id()))
+        .collect();
+
+    let results: Mutex<Vec<JobRecord<R>>> = Mutex::new(Vec::with_capacity(pending.len()));
+
+    run_work_stealing(pending, cfg.jobs, |_worker, job_idx| {
+        let job = &jobs[job_idx];
+        let id = job.id();
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        let (output, error) = loop {
+            let ctx = JobCtx {
+                seed: job_seed(id),
+                attempt,
+                escalation: cfg.escalation,
+                deadline: cfg.timeout.map(|t| Instant::now() + t),
+            };
+            match catch_unwind(AssertUnwindSafe(|| exec(job, &ctx))) {
+                Ok(Ok(r)) => break (Some(r), None),
+                Ok(Err(e @ SimError::Deadline { .. })) if attempt < cfg.retries => {
+                    if cfg.verbose {
+                        eprintln!("retrying {id} after {e} (attempt {})", attempt + 2);
+                    }
+                    meter.retried();
+                    std::thread::sleep(cfg.backoff * 2u32.saturating_pow(attempt).min(1 << 10));
+                    attempt += 1;
+                }
+                Ok(Err(e)) => break (None, Some(e.to_string())),
+                Err(payload) => {
+                    // `payload.as_ref()`, not `&payload`: the latter would
+                    // unsize the Box itself into `dyn Any` and every
+                    // downcast would miss.
+                    break (
+                        None,
+                        Some(format!("panic: {}", panic_message(payload.as_ref()))),
+                    );
+                }
+            }
+        };
+
+        let record = JobRecord {
+            id: id.to_string(),
+            attempts: attempt + 1,
+            output,
+            error,
+        };
+        if let Some(journal) = &journal {
+            let entry = JournalEntry {
+                id: record.id.clone(),
+                attempts: record.attempts,
+                output: record.output.as_ref(),
+                error: record.error.clone(),
+                wall_ms: started.elapsed().as_millis() as u64,
+            };
+            if let Err(e) = journal.lock().append(&entry) {
+                journal_err.lock().get_or_insert(e);
+            }
+        }
+        meter.job_done(id, record.is_ok(), record.attempts);
+        results.lock().push(record);
+    });
+
+    if let Some(e) = journal_err.into_inner() {
+        return Err(e);
+    }
+
+    let mut records = results.into_inner();
+    records.extend(resumed.into_values().map(JournalEntry::into_record));
+    records.sort_by(|a, b| a.id.cmp(&b.id));
+
+    Ok(SweepOutcome {
+        records,
+        progress: meter.summary(),
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestJob {
+        id: String,
+        fail_below: u64,
+    }
+
+    impl JobDesc for TestJob {
+        fn id(&self) -> &str {
+            &self.id
+        }
+    }
+
+    fn jobs(n: usize) -> Vec<TestJob> {
+        (0..n)
+            .map(|i| TestJob {
+                id: format!("test/{i:02}"),
+                fail_below: 0,
+            })
+            .collect()
+    }
+
+    fn quiet() -> RunnerConfig {
+        RunnerConfig {
+            verbose: false,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_jobs_run_and_merge_sorted() {
+        let out = run_sweep(&quiet(), &jobs(9), |j, ctx| {
+            Ok::<u64, SimError>(ctx.seed ^ j.fail_below)
+        })
+        .unwrap();
+        assert_eq!(out.records.len(), 9);
+        assert!(out.records.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(out.progress.succeeded, 9);
+        assert!(out.report_failures());
+    }
+
+    #[test]
+    fn deadline_retries_with_escalated_budget() {
+        // Fails while the escalated budget is below the job's need.
+        let need = 400u64;
+        let cfg = RunnerConfig {
+            retries: 3,
+            escalation: 4,
+            ..quiet()
+        };
+        let out = run_sweep(&cfg, &jobs(1), |_, ctx| {
+            let budget = ctx.budget(100);
+            if budget < need {
+                Err(SimError::Deadline { budget })
+            } else {
+                Ok(budget)
+            }
+        })
+        .unwrap();
+        let rec = &out.records[0];
+        assert_eq!(rec.attempts, 2); // 100 then 400
+        assert_eq!(rec.output, Some(400));
+        assert_eq!(out.progress.retries, 1);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_failures_reported() {
+        let cfg = RunnerConfig {
+            retries: 1,
+            escalation: 1,
+            ..quiet()
+        };
+        let out = run_sweep(&cfg, &jobs(2), |j, _| {
+            if j.id.ends_with('0') {
+                Err::<u64, _>(SimError::Deadline { budget: 5 })
+            } else {
+                Ok(1)
+            }
+        })
+        .unwrap();
+        let failed = out.get("test/00").unwrap();
+        assert_eq!(failed.attempts, 2);
+        assert!(failed.error.as_deref().unwrap().contains("cycle budget"));
+        assert!(!out.report_failures());
+        assert_eq!(out.progress.failed, 1);
+        assert_eq!(out.progress.succeeded, 1);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let out = run_sweep(&quiet(), &jobs(4), |j, _| {
+            if j.id == "test/02" {
+                panic!("bad config point");
+            }
+            Ok::<u64, SimError>(1)
+        })
+        .unwrap();
+        let rec = out.get("test/02").unwrap();
+        assert_eq!(rec.error.as_deref(), Some("panic: bad config point"));
+        assert_eq!(out.failures().len(), 1);
+        assert_eq!(out.outputs().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let dup = vec![
+            TestJob {
+                id: "same".into(),
+                fail_below: 0,
+            },
+            TestJob {
+                id: "same".into(),
+                fail_below: 0,
+            },
+        ];
+        let err = run_sweep(&quiet(), &dup, |_, _| Ok::<u64, SimError>(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn merged_report_is_worker_count_independent() {
+        let exec =
+            |j: &TestJob, ctx: &JobCtx| Ok::<u64, SimError>(ctx.seed.wrapping_add(j.fail_below));
+        let jobs = jobs(16);
+        let mut reports = Vec::new();
+        for workers in [1, 4] {
+            let cfg = RunnerConfig {
+                jobs: workers,
+                ..quiet()
+            };
+            let out = run_sweep(&cfg, &jobs, exec).unwrap();
+            reports.push(out.merged_report_json("unit"));
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+}

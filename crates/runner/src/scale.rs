@@ -1,0 +1,101 @@
+//! Workload scale presets.
+//!
+//! Lives in `dg-runner` (rather than `dg-bench`) because experiment specs
+//! name scales; `dg-bench` re-exports it so harness code is unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes for the experiment workloads. `quick` keeps the whole harness
+/// suite in the minutes range; `paper` approaches the paper's 50M
+/// instruction SimPoint intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// DocDist vocabulary (feature-vector entries).
+    pub docdist_vocab: u64,
+    /// DocDist input-document words.
+    pub docdist_words: u64,
+    /// DNA genome length in bases.
+    pub dna_genome: usize,
+    /// DNA read length in bases.
+    pub dna_read: usize,
+    /// Instructions per SPEC co-runner trace.
+    pub spec_instructions: u64,
+    /// Cycle budget per run.
+    pub budget: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+impl Scale {
+    /// Fast preset (default): full curve shapes in minutes.
+    pub fn quick() -> Self {
+        Self {
+            docdist_vocab: 128 * 1024,
+            docdist_words: 6_000,
+            dna_genome: 32 * 1024,
+            dna_read: 800,
+            spec_instructions: 1_000_000,
+            budget: 400_000_000,
+        }
+    }
+
+    /// Paper-scale preset (`--full`).
+    pub fn paper() -> Self {
+        Self {
+            docdist_vocab: 512 * 1024,
+            docdist_words: 60_000,
+            dna_genome: 256 * 1024,
+            dna_read: 3_000,
+            spec_instructions: 20_000_000,
+            budget: 4_000_000_000,
+        }
+    }
+
+    /// Tiny preset for smoke sweeps and tests: seconds, not minutes.
+    pub fn smoke() -> Self {
+        Self {
+            docdist_vocab: 8 * 1024,
+            docdist_words: 500,
+            dna_genome: 4 * 1024,
+            dna_read: 200,
+            spec_instructions: 50_000,
+            budget: 40_000_000,
+        }
+    }
+
+    /// Looks up a preset by spec-file name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick()),
+            "paper" => Some(Self::paper()),
+            "smoke" => Some(Self::smoke()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(p.docdist_vocab >= q.docdist_vocab);
+        assert!(p.spec_instructions > q.spec_instructions);
+        assert!(p.budget > q.budget);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(Scale::by_name("quick"), Some(Scale::quick()));
+        assert_eq!(Scale::by_name("paper"), Some(Scale::paper()));
+        assert_eq!(Scale::by_name("smoke"), Some(Scale::smoke()));
+        assert_eq!(Scale::by_name("warp"), None);
+    }
+}

@@ -1,0 +1,488 @@
+//! Experiment specifications: declarative sweep grids for `dg-run`.
+//!
+//! A spec (TOML or JSON) names a workload scale and a parameter grid —
+//! defenses × victims × co-runners × seeds — which expands into a
+//! deterministic, stably-identified job list. Expansion is a pure function
+//! of the spec: the same file always yields the same jobs with the same
+//! ids, which is what makes journals resumable and reports reproducible.
+
+use crate::job::{JobCtx, JobDesc};
+use crate::material::{dna_defense, dna_trace, docdist_defense, docdist_trace, spec_trace_seeded};
+use crate::runner::{run_sweep, RunnerConfig, SweepOutcome};
+use crate::scale::Scale;
+use crate::toml::parse_toml;
+use dg_defenses::IntervalDistribution;
+use dg_rdag::template::RdagTemplate;
+use dg_sim::config::SystemConfig;
+use dg_sim::error::SimError;
+use dg_system::{run_colocation, run_colocation_supervised, ColocationResult, MemoryKind};
+use dg_workloads::SpecPreset;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io;
+use std::path::Path;
+
+/// The victim application of a co-location job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VictimKind {
+    /// Document-distance (feature-vector) victim.
+    DocDist,
+    /// DNA k-mer matching victim.
+    Dna,
+}
+
+impl VictimKind {
+    /// Resolves a spec-file victim name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "docdist" => Some(VictimKind::DocDist),
+            "dna" => Some(VictimKind::Dna),
+            _ => None,
+        }
+    }
+
+    /// The stable spec-file name.
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimKind::DocDist => "docdist",
+            VictimKind::Dna => "dna",
+        }
+    }
+
+    /// Records the victim's memory trace.
+    pub fn trace(self, scale: &Scale, secret: u64) -> dg_cpu::MemTrace {
+        match self {
+            VictimKind::DocDist => docdist_trace(scale, secret),
+            VictimKind::Dna => dna_trace(scale, secret),
+        }
+    }
+
+    /// The profiled defense rDAG for this victim (§4.3 methodology).
+    pub fn defense_template(self) -> RdagTemplate {
+        match self {
+            VictimKind::DocDist => docdist_defense(),
+            VictimKind::Dna => dna_defense(),
+        }
+    }
+}
+
+/// Defense names a spec grid may request.
+pub const DEFENSE_NAMES: &[&str] = &[
+    "insecure",
+    "dagguise",
+    "fixed_service",
+    "fs_bta",
+    "fs_spatial",
+    "temporal_partition",
+    "camouflage",
+];
+
+/// Builds the [`MemoryKind`] for a named defense with the victim on
+/// domain 0.
+fn memory_kind(defense: &str, victim: VictimKind) -> Option<MemoryKind> {
+    Some(match defense {
+        "insecure" => MemoryKind::Insecure,
+        "dagguise" => MemoryKind::Dagguise {
+            protected: vec![Some(victim.defense_template()), None],
+        },
+        "fixed_service" => MemoryKind::FixedService,
+        "fs_bta" => MemoryKind::FsBta,
+        "fs_spatial" => MemoryKind::FsSpatial,
+        "temporal_partition" => MemoryKind::TemporalPartition {
+            slots_per_period: 4,
+        },
+        "camouflage" => MemoryKind::Camouflage {
+            protected: vec![Some(IntervalDistribution::figure2()), None],
+        },
+        _ => return None,
+    })
+}
+
+/// A per-job override matched by id substring. The CI smoke spec uses one
+/// to force a `Deadline` on the first attempt of a chosen job, exercising
+/// the retry/escalation path deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverrideSpec {
+    /// Substring of the job id this override applies to.
+    pub pattern: String,
+    /// Replacement base cycle budget for matching jobs.
+    pub budget: u64,
+}
+
+/// The parameter grid: every combination becomes one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Defense names (see [`DEFENSE_NAMES`]).
+    pub defenses: Vec<String>,
+    /// Victim names (`docdist`, `dna`).
+    pub victims: Vec<String>,
+    /// SPEC co-runner preset names.
+    pub corunners: Vec<String>,
+    /// Victim secrets to sweep.
+    pub seeds: Vec<u64>,
+}
+
+/// A declarative sweep: scale + grid + overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Sweep name; prefixes every job id.
+    pub name: String,
+    /// Workload scale (preset plus optional field overrides).
+    pub scale: Scale,
+    /// The parameter grid.
+    pub grid: GridSpec,
+    /// Per-job budget overrides.
+    pub overrides: Vec<OverrideSpec>,
+}
+
+fn opt<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// Hand-written: the vendored derive has no `#[serde(default)]`, and most
+// spec sections are optional.
+impl Deserialize for ExperimentSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("spec must be a table"))?;
+
+        let name = match opt(m, "name") {
+            Some(v) => String::from_value(v)?,
+            None => return Err(DeError::custom("spec is missing `name`")),
+        };
+
+        let mut scale = Scale::quick();
+        if let Some(sv) = opt(m, "scale") {
+            let sm = sv
+                .as_map()
+                .ok_or_else(|| DeError::custom("[scale] must be a table"))?;
+            if let Some(p) = opt(sm, "preset") {
+                let p = String::from_value(p)?;
+                scale = Scale::by_name(&p)
+                    .ok_or_else(|| DeError::custom(format!("unknown scale preset `{p}`")))?;
+            }
+            for (key, val) in sm {
+                match key.as_str() {
+                    "preset" => {}
+                    "docdist_vocab" => scale.docdist_vocab = u64::from_value(val)?,
+                    "docdist_words" => scale.docdist_words = u64::from_value(val)?,
+                    "dna_genome" => scale.dna_genome = usize::from_value(val)?,
+                    "dna_read" => scale.dna_read = usize::from_value(val)?,
+                    "spec_instructions" => scale.spec_instructions = u64::from_value(val)?,
+                    "budget" => scale.budget = u64::from_value(val)?,
+                    other => return Err(DeError::custom(format!("unknown [scale] key `{other}`"))),
+                }
+            }
+        }
+
+        let gv = opt(m, "grid").ok_or_else(|| DeError::custom("spec is missing [grid]"))?;
+        let gm = gv
+            .as_map()
+            .ok_or_else(|| DeError::custom("[grid] must be a table"))?;
+        let defenses = match opt(gm, "defenses") {
+            Some(v) => Vec::<String>::from_value(v)?,
+            None => return Err(DeError::custom("[grid] is missing `defenses`")),
+        };
+        let victims = match opt(gm, "victims") {
+            Some(v) => Vec::<String>::from_value(v)?,
+            None => vec!["docdist".to_string()],
+        };
+        let corunners = match opt(gm, "corunners") {
+            Some(v) => Vec::<String>::from_value(v)?,
+            None => return Err(DeError::custom("[grid] is missing `corunners`")),
+        };
+        let seeds = match opt(gm, "seeds") {
+            Some(v) => Vec::<u64>::from_value(v)?,
+            None => vec![0],
+        };
+
+        let mut overrides = Vec::new();
+        if let Some(ov) = opt(m, "override") {
+            for entry in ov
+                .as_seq()
+                .ok_or_else(|| DeError::custom("[[override]] must be an array of tables"))?
+            {
+                let om = entry
+                    .as_map()
+                    .ok_or_else(|| DeError::custom("[[override]] entries must be tables"))?;
+                let pattern = match opt(om, "match") {
+                    Some(v) => String::from_value(v)?,
+                    None => return Err(DeError::custom("[[override]] is missing `match`")),
+                };
+                let budget = match opt(om, "budget") {
+                    Some(v) => u64::from_value(v)?,
+                    None => return Err(DeError::custom("[[override]] is missing `budget`")),
+                };
+                overrides.push(OverrideSpec { pattern, budget });
+            }
+        }
+
+        let spec = ExperimentSpec {
+            name,
+            scale,
+            grid: GridSpec {
+                defenses,
+                victims,
+                corunners,
+                seeds,
+            },
+            overrides,
+        };
+        spec.validate().map_err(DeError::custom)?;
+        Ok(spec)
+    }
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors or a grid naming unknown defenses/victims/presets.
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        let doc = parse_toml(text)?;
+        Self::from_value(&doc).map_err(|e| e.to_string())
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors or a grid naming unknown defenses/victims/presets.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Loads a spec file, dispatching on extension (`.toml` vs `.json`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, syntax errors, or validation failures.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let parsed = match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json_str(&text),
+            _ => Self::from_toml_str(&text),
+        };
+        parsed.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Checks that every grid entry names a known defense, victim, and
+    /// SPEC preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in &self.grid.defenses {
+            if !DEFENSE_NAMES.contains(&d.as_str()) {
+                return Err(format!(
+                    "unknown defense `{d}` (expected one of {})",
+                    DEFENSE_NAMES.join(", ")
+                ));
+            }
+        }
+        for v in &self.grid.victims {
+            if VictimKind::by_name(v).is_none() {
+                return Err(format!("unknown victim `{v}` (expected docdist or dna)"));
+            }
+        }
+        for c in &self.grid.corunners {
+            if SpecPreset::by_name(c).is_none() {
+                return Err(format!("unknown SPEC co-runner preset `{c}`"));
+            }
+        }
+        if self.grid.defenses.is_empty() || self.grid.corunners.is_empty() {
+            return Err("grid expands to zero jobs".to_string());
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its deterministic job list. Ids have the
+    /// shape `{name}/{victim}-s{seed}+{corunner}/{defense}`; ordering is
+    /// victims × seeds × corunners × defenses, but nothing downstream
+    /// depends on it (the merged report sorts by id).
+    pub fn expand(&self) -> Vec<ColocationJob> {
+        let mut jobs = Vec::new();
+        for victim_name in &self.grid.victims {
+            let victim = VictimKind::by_name(victim_name).expect("validated");
+            for &secret in &self.grid.seeds {
+                for corunner in &self.grid.corunners {
+                    for defense in &self.grid.defenses {
+                        let id = format!(
+                            "{}/{}-s{secret}+{corunner}/{defense}",
+                            self.name,
+                            victim.label()
+                        );
+                        let mut scale = self.scale;
+                        if let Some(o) = self.overrides.iter().find(|o| id.contains(&o.pattern)) {
+                            scale.budget = o.budget;
+                        }
+                        jobs.push(ColocationJob {
+                            id,
+                            victim,
+                            secret,
+                            corunner: corunner.clone(),
+                            defense: defense.clone(),
+                            scale,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Expands and runs the sweep under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Journal/orchestration I/O errors ([`run_sweep`]).
+    pub fn run(&self, cfg: &RunnerConfig) -> io::Result<SweepOutcome<ColocationResult>> {
+        run_sweep(cfg, &self.expand(), execute_job)
+    }
+}
+
+/// One expanded grid point: a two-core co-location run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColocationJob {
+    /// Stable job id (see [`ExperimentSpec::expand`]).
+    pub id: String,
+    /// Victim application on domain 0.
+    pub victim: VictimKind,
+    /// Victim secret input.
+    pub secret: u64,
+    /// SPEC co-runner preset on domain 1.
+    pub corunner: String,
+    /// Defense name (see [`DEFENSE_NAMES`]).
+    pub defense: String,
+    /// Scale (with any per-job budget override already applied).
+    pub scale: Scale,
+}
+
+impl JobDesc for ColocationJob {
+    fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+/// Cycles per supervision slice when a wall-clock timeout is active.
+const SUPERVISION_CHUNK: u64 = 2_000_000;
+
+/// Executes one grid point. All randomness comes from `ctx.seed` (a pure
+/// function of the job id) and all work is bounded by the escalated cycle
+/// budget, so the result is identical wherever and whenever the job runs.
+///
+/// # Errors
+///
+/// [`SimError::Deadline`] when the (escalated) budget is too small —
+/// retried by the runner — or any other simulation error.
+pub fn execute_job(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult, SimError> {
+    let cfg = SystemConfig::two_core();
+    let victim = job.victim.trace(&job.scale, job.secret);
+    let corunner = spec_trace_seeded(&job.scale, &job.corunner, 1, ctx.seed);
+    let kind = memory_kind(&job.defense, job.victim)
+        .ok_or_else(|| SimError::InvalidConfig(format!("unknown defense `{}`", job.defense)))?;
+    let budget = ctx.budget(job.scale.budget);
+    if ctx.deadline.is_some() {
+        run_colocation_supervised(
+            &cfg,
+            vec![victim, corunner],
+            kind,
+            budget,
+            SUPERVISION_CHUNK,
+            &mut || ctx.expired(),
+        )
+    } else {
+        run_colocation(&cfg, vec![victim, corunner], kind, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+name = "unit"
+
+[scale]
+preset = "smoke"
+
+[grid]
+defenses = ["insecure", "dagguise"]
+victims = ["docdist", "dna"]
+corunners = ["lbm"]
+seeds = [0, 1]
+
+[[override]]
+match = "+lbm/dagguise"
+budget = 1234
+"#;
+
+    #[test]
+    fn toml_spec_expands_deterministically() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        assert_eq!(spec.scale.dna_genome, Scale::smoke().dna_genome);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 8); // 2 defenses x 2 victims x 1 corunner x 2 seeds
+        assert_eq!(jobs[0].id, "unit/docdist-s0+lbm/insecure");
+        // Stable across re-expansion.
+        let again: Vec<String> = spec.expand().into_iter().map(|j| j.id).collect();
+        let first: Vec<String> = jobs.iter().map(|j| j.id.clone()).collect();
+        assert_eq!(first, again);
+        // Ids are unique.
+        let mut sorted = first.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), first.len());
+    }
+
+    #[test]
+    fn overrides_rebudget_matching_jobs_only() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        for job in spec.expand() {
+            if job.id.contains("+lbm/dagguise") {
+                assert_eq!(job.scale.budget, 1234, "{}", job.id);
+            } else {
+                assert_eq!(job.scale.budget, Scale::smoke().budget, "{}", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let bad = SPEC.replace("\"dagguise\"", "\"warp_field\"");
+        let err = ExperimentSpec::from_toml_str(&bad).unwrap_err();
+        assert!(err.contains("unknown defense"), "{err}");
+        let bad = SPEC.replace("\"lbm\"", "\"notaspec\"");
+        assert!(ExperimentSpec::from_toml_str(&bad).is_err());
+        let bad = SPEC.replace("\"dna\"", "\"rsa\"");
+        assert!(ExperimentSpec::from_toml_str(&bad).is_err());
+    }
+
+    #[test]
+    fn json_spec_parses_too() {
+        let json = r#"{
+            "name": "j",
+            "scale": {"preset": "smoke"},
+            "grid": {"defenses": ["insecure"], "corunners": ["xz"]}
+        }"#;
+        let spec = ExperimentSpec::from_json_str(json).unwrap();
+        assert_eq!(spec.grid.victims, vec!["docdist"]);
+        assert_eq!(spec.grid.seeds, vec![0]);
+        assert_eq!(spec.expand().len(), 1);
+    }
+
+    #[test]
+    fn every_defense_name_builds_a_memory_kind() {
+        for d in DEFENSE_NAMES {
+            assert!(memory_kind(d, VictimKind::DocDist).is_some(), "{d}");
+        }
+        assert!(memory_kind("nope", VictimKind::Dna).is_none());
+    }
+}

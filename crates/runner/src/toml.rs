@@ -1,0 +1,432 @@
+//! A minimal TOML reader producing the vendored [`serde::Value`] tree.
+//!
+//! The real `toml` crate is unavailable offline, and experiment specs only
+//! need a well-behaved subset: comments, `[tables]` (dotted headers
+//! included), `[[arrays of tables]]`, bare dotted keys, basic and literal
+//! strings, integers (with `_` separators), floats, booleans, and arrays
+//! that may span multiple lines. Anything outside that subset is a parse
+//! error, never a silent misread.
+
+use serde::Value;
+
+/// Parses TOML text into a [`Value::Map`] document.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending line for any
+/// construct outside the supported subset.
+pub fn parse_toml(text: &str) -> Result<Value, String> {
+    let mut root = Value::Map(Vec::new());
+    let mut current: Vec<Seg> = Vec::new();
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let line = line.trim();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let keys = parse_dotted_key(header).map_err(|e| at(lineno, &e))?;
+            current = enter_array_of_tables(&mut root, &keys).map_err(|e| at(lineno, &e))?;
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let keys = parse_dotted_key(header).map_err(|e| at(lineno, &e))?;
+            current = keys.into_iter().map(Seg::Key).collect();
+            // Materialise the table so empty sections still exist.
+            get_mut(&mut root, &current).map_err(|e| at(lineno, &e))?;
+        } else if let Some(eq) = find_unquoted(line, '=') {
+            let keys = parse_dotted_key(&line[..eq]).map_err(|e| at(lineno, &e))?;
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance outside of strings.
+            while bracket_depth(&value_text)? > 0 {
+                let Some(next) = lines.get(i) else {
+                    return Err(at(lineno, "unterminated array"));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next).trim());
+                i += 1;
+            }
+            let value = parse_value(&value_text).map_err(|e| at(lineno, &e))?;
+            let (last, parents) = keys.split_last().expect("dotted key is non-empty");
+            let mut path = current.clone();
+            path.extend(parents.iter().cloned().map(Seg::Key));
+            let table = get_mut(&mut root, &path).map_err(|e| at(lineno, &e))?;
+            let Value::Map(m) = table else {
+                return Err(at(lineno, "key path does not name a table"));
+            };
+            if m.iter().any(|(k, _)| k == last) {
+                return Err(at(lineno, &format!("duplicate key `{last}`")));
+            }
+            m.push((last.clone(), value));
+        } else {
+            return Err(at(lineno, "expected `key = value` or a [section] header"));
+        }
+    }
+    Ok(root)
+}
+
+fn at(lineno: usize, msg: &str) -> String {
+    format!("TOML line {lineno}: {msg}")
+}
+
+/// A path segment into the document tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Seg {
+    Key(String),
+    Idx(usize),
+}
+
+/// Walks (and creates) the tree down `path`, returning the node there.
+fn get_mut<'a>(root: &'a mut Value, path: &[Seg]) -> Result<&'a mut Value, String> {
+    let mut cur = root;
+    for seg in path {
+        cur = match seg {
+            Seg::Key(k) => {
+                let Value::Map(m) = cur else {
+                    return Err(format!("`{k}` is not a table"));
+                };
+                if !m.iter().any(|(key, _)| key == k) {
+                    m.push((k.clone(), Value::Map(Vec::new())));
+                }
+                let idx = m
+                    .iter()
+                    .position(|(key, _)| key == k)
+                    .expect("just ensured");
+                &mut m[idx].1
+            }
+            Seg::Idx(i) => {
+                let Value::Seq(s) = cur else {
+                    return Err("expected an array of tables".to_string());
+                };
+                &mut s[*i]
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Handles a `[[path]]` header: appends a fresh table to the array at
+/// `path` (creating it if needed) and returns the path to that table.
+fn enter_array_of_tables(root: &mut Value, keys: &[String]) -> Result<Vec<Seg>, String> {
+    let (last, parents) = keys.split_last().ok_or("empty [[header]]")?;
+    let parent_path: Vec<Seg> = parents.iter().cloned().map(Seg::Key).collect();
+    let parent = get_mut(root, &parent_path)?;
+    let Value::Map(m) = parent else {
+        return Err("[[header]] parent is not a table".to_string());
+    };
+    if !m.iter().any(|(k, _)| k == last) {
+        m.push((last.clone(), Value::Seq(Vec::new())));
+    }
+    let idx = m.iter().position(|(k, _)| k == last).expect("just ensured");
+    let Value::Seq(s) = &mut m[idx].1 else {
+        return Err(format!("`{last}` is already a non-array value"));
+    };
+    s.push(Value::Map(Vec::new()));
+    let mut path = parent_path;
+    path.push(Seg::Key(last.clone()));
+    path.push(Seg::Idx(s.len() - 1));
+    Ok(path)
+}
+
+/// Splits `a.b.c` into bare key components.
+fn parse_dotted_key(s: &str) -> Result<Vec<String>, String> {
+    let mut keys = Vec::new();
+    for part in s.split('.') {
+        let part = part.trim();
+        if part.is_empty()
+            || !part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("invalid key `{s}` (bare keys only)"));
+        }
+        keys.push(part.to_string());
+    }
+    Ok(keys)
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte index of the first `target` outside any quoted string.
+fn find_unquoted(line: &str, target: char) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_basic {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_basic = false;
+            }
+        } else if in_literal {
+            if c == '\'' {
+                in_literal = false;
+            }
+        } else if c == '"' {
+            in_basic = true;
+        } else if c == '\'' {
+            in_literal = true;
+        } else if c == target {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Net `[`/`]` nesting outside strings; an unterminated string is an error
+/// (our basic/literal strings never span lines).
+fn bracket_depth(text: &str) -> Result<i32, String> {
+    let mut depth = 0i32;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_basic {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_basic = false;
+            }
+        } else if in_literal {
+            if c == '\'' {
+                in_literal = false;
+            }
+        } else {
+            match c {
+                '"' => in_basic = true,
+                '\'' => in_literal = true,
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    if in_basic || in_literal {
+        return Err("unterminated string".to_string());
+    }
+    Ok(depth)
+}
+
+/// Parses a single TOML value (string, number, bool, or array).
+fn parse_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for part in split_top_level(body)? {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(Value::Seq(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        return Ok(Value::Str(unescape(body)?));
+    }
+    if let Some(body) = text.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .ok_or_else(|| "unterminated literal string".to_string())?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits: String = text.chars().filter(|&c| c != '_').collect();
+    if digits.contains(['.', 'e', 'E']) {
+        if let Ok(f) = digits.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Some(neg) = digits.strip_prefix('-') {
+        if let Ok(n) = neg.parse::<u64>() {
+            return Ok(Value::Int(-(n as i64)));
+        }
+    } else if let Ok(n) = digits.parse::<u64>() {
+        return Ok(Value::UInt(n));
+    }
+    Err(format!("unsupported value `{text}`"))
+}
+
+/// Splits array contents on top-level commas (not inside strings or nested
+/// arrays).
+fn split_top_level(body: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_basic {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_basic = false;
+            }
+            continue;
+        }
+        if in_literal {
+            if c == '\'' {
+                in_literal = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_basic = true,
+            '\'' => in_literal = true,
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    if in_basic || in_literal {
+        return Err("unterminated string in array".to_string());
+    }
+    parts.push(&body[start..]);
+    Ok(parts)
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("unsupported escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_scalars() {
+        let doc = parse_toml(
+            r#"
+            name = "smoke"  # a comment
+            jobs = 4
+            ratio = 0.25
+            offset = -3
+            big = 400_000_000
+            quick = true
+
+            [grid]
+            defenses = ["insecure", "dagguise"]
+            seeds = [0, 1, 2]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("smoke"));
+        assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("ratio").unwrap().as_f64(), Some(0.25));
+        assert_eq!(doc.get("offset"), Some(&Value::Int(-3)));
+        assert_eq!(doc.get("big").unwrap().as_u64(), Some(400_000_000));
+        assert_eq!(doc.get("quick"), Some(&Value::Bool(true)));
+        let grid = doc.get("grid").unwrap();
+        assert_eq!(grid.get("defenses").unwrap().as_seq().unwrap().len(), 2);
+        assert_eq!(grid.get("seeds").unwrap().as_seq().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parses_array_of_tables_and_dotted_headers() {
+        let doc = parse_toml(
+            r#"
+            [scale.custom]
+            budget = 1000
+
+            [[override]]
+            match = "lbm"
+            budget = 50
+
+            [[override]]
+            match = "mcf"
+            budget = 60
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("scale")
+                .unwrap()
+                .get("custom")
+                .unwrap()
+                .get("budget")
+                .unwrap()
+                .as_u64(),
+            Some(1000)
+        );
+        let overrides = doc.get("override").unwrap().as_seq().unwrap();
+        assert_eq!(overrides.len(), 2);
+        assert_eq!(overrides[1].get("match").unwrap().as_str(), Some("mcf"));
+    }
+
+    #[test]
+    fn multi_line_arrays_and_hash_in_strings() {
+        let doc = parse_toml("apps = [\n  \"lbm\", # trailing\n  \"a#b\",\n]\n").unwrap();
+        let apps = doc.get("apps").unwrap().as_seq().unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[1].as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_toml("good = 1\nbad =").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_toml("x = 1\nx = 2")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse_toml("= 3").is_err());
+        assert!(parse_toml("v = {inline = 1}").is_err());
+    }
+
+    #[test]
+    fn nested_arrays_split_correctly() {
+        let doc = parse_toml("m = [[1, 2], [3, 4]]").unwrap();
+        let m = doc.get("m").unwrap().as_seq().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].as_seq().unwrap().len(), 2);
+    }
+}

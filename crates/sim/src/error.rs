@@ -16,6 +16,10 @@ pub enum SimError {
     Deadline { budget: u64 },
     /// A request id was not found where it was expected.
     UnknownRequest(u64),
+    /// The run was cancelled by a supervisor (e.g. a wall-clock timeout)
+    /// before the simulation completed. Unlike [`SimError::Deadline`],
+    /// aborts are host-dependent and are never retried.
+    Aborted(String),
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +31,7 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded cycle budget of {budget}")
             }
             SimError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
+            SimError::Aborted(why) => write!(f, "run aborted: {why}"),
         }
     }
 }
@@ -54,6 +59,10 @@ mod tests {
         assert_eq!(
             SimError::UnknownRequest(9).to_string(),
             "unknown request id 9"
+        );
+        assert_eq!(
+            SimError::Aborted("wall-clock timeout".into()).to_string(),
+            "run aborted: wall-clock timeout"
         );
     }
 

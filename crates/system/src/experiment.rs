@@ -93,6 +93,66 @@ pub fn run_colocation_observed(
     name: &str,
     obs: &ObsConfig,
 ) -> Result<(ColocationResult, RunReport, Vec<Event>), SimError> {
+    let (mut sys, n) = build_system(cfg, traces, kind, obs);
+    sys.run_until_core_finished(0, budget)?;
+    let result = collect_results(cfg, &mut sys, n);
+    let report = sys.report(name);
+    let events = sys.tracer().snapshot();
+    Ok((result, report, events))
+}
+
+/// [`run_colocation`] under cooperative supervision: the simulation runs in
+/// `chunk`-cycle slices, calling `should_abort` between slices so a caller
+/// can enforce a wall-clock timeout (or any other external cancellation)
+/// without a watchdog thread.
+///
+/// Results are *identical* to an unsupervised [`run_colocation`] with the
+/// same `budget` when no abort fires: chunked `run_until_core_finished`
+/// calls compose exactly, and the abort check does not touch simulation
+/// state.
+///
+/// # Errors
+///
+/// Returns [`SimError::Aborted`] when `should_abort` reports true, and
+/// [`SimError::Deadline`] when `budget` is exhausted first.
+pub fn run_colocation_supervised(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    budget: Cycle,
+    chunk: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+) -> Result<ColocationResult, SimError> {
+    let (mut sys, n) = build_system(cfg, traces, kind, &ObsConfig::default());
+    let chunk = chunk.max(1);
+    let mut spent: Cycle = 0;
+    loop {
+        if should_abort() {
+            return Err(SimError::Aborted(format!(
+                "supervisor cancelled after {spent} cycles"
+            )));
+        }
+        let step = chunk.min(budget - spent);
+        match sys.run_until_core_finished(0, step) {
+            Ok(_) => break,
+            Err(SimError::Deadline { .. }) => {
+                spent += step;
+                if spent >= budget {
+                    return Err(SimError::Deadline { budget });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(collect_results(cfg, &mut sys, n))
+}
+
+fn build_system(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    obs: &ObsConfig,
+) -> (crate::system::System, usize) {
     let n = traces.len();
     let mut builder = SystemBuilder::new(cfg.clone());
     for t in traces {
@@ -105,10 +165,15 @@ pub fn run_colocation_observed(
     if let Some(window) = obs.interval_window {
         sys.enable_interval_sampling(window);
     }
+    (sys, n)
+}
 
-    sys.run_until_core_finished(0, budget)?;
+fn collect_results(
+    cfg: &SystemConfig,
+    sys: &mut crate::system::System,
+    n: usize,
+) -> ColocationResult {
     let end = sys.now();
-
     let cores = (0..n)
         .map(|i| {
             let c = &sys.cores()[i];
@@ -128,17 +193,11 @@ pub fn run_colocation_observed(
         .map(|i| stats.domain(DomainId(i as u16)).bandwidth.gbps(clock_hz))
         .collect();
 
-    let report = sys.report(name);
-    let events = sys.tracer().snapshot();
-    Ok((
-        ColocationResult {
-            cores,
-            bandwidth_gbps,
-            total_cycles: end,
-        },
-        report,
-        events,
-    ))
+    ColocationResult {
+        cores,
+        bandwidth_gbps,
+        total_cycles: end,
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +265,56 @@ mod tests {
         let cfg = SystemConfig::two_core();
         let r = run_colocation(&cfg, vec![stream(100, 0, 20)], MemoryKind::Insecure, 10);
         assert!(matches!(r, Err(SimError::Deadline { .. })));
+    }
+
+    #[test]
+    fn supervised_matches_unsupervised_when_no_abort() {
+        let cfg = SystemConfig::two_core();
+        let traces = vec![stream(300, 0, 20), stream(3000, 1 << 30, 20)];
+        let plain =
+            run_colocation(&cfg, traces.clone(), MemoryKind::Insecure, 100_000_000).unwrap();
+        // Deliberately tiny chunk so many slices compose.
+        let supervised = run_colocation_supervised(
+            &cfg,
+            traces,
+            MemoryKind::Insecure,
+            100_000_000,
+            1_000,
+            &mut || false,
+        )
+        .unwrap();
+        assert_eq!(plain, supervised);
+    }
+
+    #[test]
+    fn supervised_abort_surfaces() {
+        let cfg = SystemConfig::two_core();
+        let mut checks = 0u32;
+        let r = run_colocation_supervised(
+            &cfg,
+            vec![stream(10_000, 0, 20)],
+            MemoryKind::Insecure,
+            100_000_000,
+            100,
+            &mut || {
+                checks += 1;
+                checks > 3
+            },
+        );
+        assert!(matches!(r, Err(SimError::Aborted(_))));
+    }
+
+    #[test]
+    fn supervised_deadline_still_reports_full_budget() {
+        let cfg = SystemConfig::two_core();
+        let r = run_colocation_supervised(
+            &cfg,
+            vec![stream(10_000, 0, 20)],
+            MemoryKind::Insecure,
+            500,
+            100,
+            &mut || false,
+        );
+        assert_eq!(r.unwrap_err(), SimError::Deadline { budget: 500 });
     }
 }

@@ -1,7 +1,213 @@
 //! Offline stand-in for `crossbeam`, providing the `crossbeam::thread`
 //! scoped-threads API on top of `std::thread::scope` (which has existed
 //! since Rust 1.63 and makes the crossbeam implementation unnecessary for
-//! this workspace's fork-join fan-out).
+//! this workspace's fork-join fan-out), plus the `crossbeam::deque`
+//! work-stealing deque API used by `dg-runner`'s worker pool.
+
+/// Work-stealing deques (`crossbeam_deque`-shaped API).
+///
+/// The real crate's lock-free Chase-Lev deque is replaced by mutexed
+/// `VecDeque`s: the workspace schedules simulation jobs that run for
+/// milliseconds to minutes, so scheduler-level contention is irrelevant —
+/// only the API shape and the ownership/stealing semantics matter.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether this attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether the source was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO injector queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A worker-owned FIFO deque; hand out [`Stealer`]s to other workers.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task);
+        }
+
+        /// Pops a task from the owner's end (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+        }
+
+        /// Creates a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    /// A handle that can steal tasks from another worker's deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a task from the opposite end of the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Empty::<i32>);
+        }
+
+        #[test]
+        fn worker_pop_and_steal_draw_from_opposite_ends() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.is_empty() && s.is_empty());
+        }
+
+        #[test]
+        fn stealing_across_threads_loses_no_task() {
+            let w = Worker::new_fifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let stolen: Mutex<Vec<i32>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = w.stealer();
+                    let stolen = &stolen;
+                    scope.spawn(move || {
+                        while let Steal::Success(t) = s.steal() {
+                            stolen.lock().unwrap().push(t);
+                        }
+                    });
+                }
+            });
+            let mut got = stolen.into_inner().unwrap();
+            got.extend(std::iter::from_fn(|| w.pop()));
+            got.sort_unstable();
+            assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        }
+    }
+}
 
 /// Scoped threads (`crossbeam::thread::scope`).
 pub mod thread {
