@@ -32,4 +32,24 @@ grep -q '"attempts": 2' "$SMOKE_DIR/smoke.json" \
 cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/smoke_resumed.json" \
   || { echo "smoke: resumed report differs from the original"; exit 1; }
 
+echo "=== leakage smoke (dg-run --leak: security regression gate) ==="
+# Two tiny jobs with the covert-channel leakage probe forced on: the
+# insecure controller must carry real MI capacity and DAGguise must
+# collapse it. This is the repo's core security claim as a CI assertion.
+"$DG_RUN" examples/leak_smoke.toml --quiet --jobs 2 \
+  --out "$SMOKE_DIR/leak_smoke.json" --leak "$SMOKE_DIR/leak.json"
+mean_of() {
+  awk -v d="\"$1\"," '$1 == "\"defense\":" && $2 == d {f=1}
+    f && $1 == "\"mean_capacity_bps\":" {gsub(/,/, "", $2); print $2; exit}' \
+    "$SMOKE_DIR/leak.json"
+}
+insecure_bps=$(mean_of insecure)
+dagguise_bps=$(mean_of dagguise)
+awk -v i="$insecure_bps" -v d="$dagguise_bps" 'BEGIN {
+  if (i == "" || d == "") { print "leakage: leaderboard missing a defense"; exit 1 }
+  if (i + 0 < 50000) { print "leakage: insecure capacity too low: " i " bits/s"; exit 1 }
+  if (d + 0 > 0.1 * i) { print "leakage: DAGguise failed to collapse capacity: " d " vs " i " bits/s"; exit 1 }
+  print "leakage: insecure " i " bits/s, dagguise " d " bits/s"
+}'
+
 echo "CI passed."

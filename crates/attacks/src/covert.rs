@@ -10,6 +10,7 @@
 //! shapes the sender.
 
 use dg_mem::MemorySubsystem;
+use dg_obs::{LeakEstimator, LeakReport};
 use dg_sim::clock::Cycle;
 use dg_sim::rng::DetRng;
 use dg_sim::types::{DomainId, MemRequest, ReqId};
@@ -79,6 +80,113 @@ pub fn run_covert_channel<M: MemorySubsystem + ?Sized>(
     clock_hz: f64,
     seed: u64,
 ) -> CovertResult {
+    run_covert_inner(
+        mem,
+        sender_domain,
+        receiver_domain,
+        cfg,
+        clock_hz,
+        seed,
+        None,
+    )
+}
+
+/// [`run_covert_channel`] with an online [`LeakEstimator`] attached: every
+/// receiver probe is fed to the estimator keyed by the bit the sender was
+/// transmitting, producing a mutual-information capacity-over-time report
+/// alongside the decode-based [`CovertResult`]. The estimator is a pure
+/// observer — the simulated traffic is identical to the plain run.
+///
+/// The report is permutation-null corrected: alongside the true labelling,
+/// the same latency stream is estimated under cyclically rotated bit
+/// labels. A rotated labelling has the same marginals but no causal
+/// alignment with the sender, so any MI it reads is spurious correlation
+/// between the (secret-independent) latency pattern and the message — a
+/// structural noise floor that shaped memory would otherwise appear to
+/// carry. The nulls' mean is subtracted window-by-window (see
+/// [`LeakReport::subtract_null`]); samples stay signed, the aggregate
+/// mean is clamped at zero.
+pub fn run_covert_channel_estimated<M: MemorySubsystem + ?Sized>(
+    mem: &mut M,
+    sender_domain: DomainId,
+    receiver_domain: DomainId,
+    cfg: &CovertConfig,
+    clock_hz: f64,
+    seed: u64,
+    leak_window: Cycle,
+) -> (CovertResult, LeakReport) {
+    let mut taps = LeakTaps::new(leak_window, clock_hz, cfg.bits);
+    let result = run_covert_inner(
+        mem,
+        sender_domain,
+        receiver_domain,
+        cfg,
+        clock_hz,
+        seed,
+        Some(&mut taps),
+    );
+    (result, taps.report())
+}
+
+/// Latency-bucket width (cycles) and count for the probe's MI histograms.
+/// Coarse buckets keep the per-window contingency table well-populated at
+/// covert-probe observation rates; finer ones inflate the finite-sample
+/// noise floor faster than they add resolution.
+const LEAK_BUCKET_WIDTH: Cycle = 64;
+const LEAK_BUCKETS: usize = 8;
+
+/// The observed-label estimator plus its permutation-null companions
+/// (same latency stream, cyclically rotated bit labels).
+struct LeakTaps {
+    obs: LeakEstimator,
+    /// (label rotation, estimator) pairs.
+    nulls: Vec<(usize, LeakEstimator)>,
+}
+
+impl LeakTaps {
+    fn new(leak_window: Cycle, clock_hz: f64, bits: usize) -> Self {
+        let mk = || LeakEstimator::new(leak_window, clock_hz, 2, LEAK_BUCKET_WIDTH, LEAK_BUCKETS);
+        let mut rots: Vec<usize> = [bits / 4, bits / 2, 3 * bits / 4]
+            .into_iter()
+            .filter(|&r| r > 0 && r < bits)
+            .collect();
+        rots.dedup();
+        Self {
+            obs: mk(),
+            nulls: rots.into_iter().map(|r| (r, mk())).collect(),
+        }
+    }
+
+    fn observe(&mut self, now: Cycle, idx: usize, sent: &[bool], latency: Cycle) {
+        self.obs.observe(now, sent[idx] as usize, latency);
+        for (rot, est) in &mut self.nulls {
+            est.observe(now, sent[(idx + *rot) % sent.len()] as usize, latency);
+        }
+    }
+
+    fn report(mut self) -> LeakReport {
+        self.obs.finish();
+        let nulls: Vec<LeakReport> = self
+            .nulls
+            .into_iter()
+            .map(|(_, mut e)| {
+                e.finish();
+                e.report()
+            })
+            .collect();
+        self.obs.report().subtract_null(&nulls)
+    }
+}
+
+fn run_covert_inner<M: MemorySubsystem + ?Sized>(
+    mem: &mut M,
+    sender_domain: DomainId,
+    receiver_domain: DomainId,
+    cfg: &CovertConfig,
+    clock_hz: f64,
+    seed: u64,
+    mut taps: Option<&mut LeakTaps>,
+) -> CovertResult {
     let mut rng = DetRng::new(seed);
     let sent: Vec<bool> = (0..cfg.bits).map(|_| rng.next_bool(0.5)).collect();
 
@@ -97,6 +205,9 @@ pub fn run_covert_channel<M: MemorySubsystem + ?Sized>(
                 probe_outstanding = None;
                 let idx = ((resp.completed_at / cfg.epoch) as usize).min(cfg.bits - 1);
                 probe_latencies[idx].push(resp.latency());
+                if let Some(t) = taps.as_deref_mut() {
+                    t.observe(resp.completed_at, idx, &sent, resp.latency());
+                }
                 probe_next = now + cfg.probe_gap;
             }
         }
@@ -201,6 +312,66 @@ mod tests {
             r.error_rate
         );
         assert!(r.capacity_bits_per_sec() < 0.25 * r.raw_bits_per_sec);
+    }
+
+    fn shaped(sys: &SystemConfig) -> ShapedMemory<MemoryController> {
+        let mc = MemoryController::new(sys, SchedPolicy::FrFcfs);
+        let shapers: Vec<Box<dyn DomainShaper>> = vec![
+            Box::new(Shaper::new(ShaperConfig::from_system(
+                DomainId(0),
+                RdagTemplate::new(2, 100, 0.0),
+                sys,
+            ))),
+            Box::new(PassThrough::new(DomainId(1), 16)),
+        ];
+        ShapedMemory::new(mc, shapers)
+    }
+
+    #[test]
+    fn estimator_separates_insecure_from_dagguise() {
+        // Mirrors the sweep probe: merge several repetitions with distinct
+        // messages so per-run finite-sample noise averages out.
+        let sys = SystemConfig::two_core();
+        let seeds = [11u64, 12, 13, 14];
+        let probe = |mem: &mut dyn MemorySubsystem, seed| {
+            run_covert_channel_estimated(mem, DomainId(0), DomainId(1), &cfg(), 2.4e9, seed, 8_000)
+                .1
+        };
+        let insecure = dg_obs::LeakReport::merged(
+            &seeds.map(|s| probe(&mut MemoryController::new(&sys, SchedPolicy::FrFcfs), s)),
+        );
+        let shaped = dg_obs::LeakReport::merged(&seeds.map(|s| probe(&mut shaped(&sys), s)));
+
+        assert!(
+            insecure.mean_capacity_bps > 0.0,
+            "insecure channel must leak: {}",
+            insecure.mean_capacity_bps
+        );
+        assert!(!insecure.samples.is_empty());
+        assert!(
+            shaped.mean_capacity_bps < 0.05 * insecure.mean_capacity_bps,
+            "DAGguise must collapse MI capacity: shaped {} vs insecure {}",
+            shaped.mean_capacity_bps,
+            insecure.mean_capacity_bps
+        );
+    }
+
+    #[test]
+    fn estimator_is_a_pure_observer() {
+        let sys = SystemConfig::two_core();
+        let mut a = MemoryController::new(&sys, SchedPolicy::FrFcfs);
+        let plain = run_covert_channel(&mut a, DomainId(0), DomainId(1), &cfg(), 2.4e9, 11);
+        let mut b = MemoryController::new(&sys, SchedPolicy::FrFcfs);
+        let (estimated, _) = run_covert_channel_estimated(
+            &mut b,
+            DomainId(0),
+            DomainId(1),
+            &cfg(),
+            2.4e9,
+            11,
+            8_000,
+        );
+        assert_eq!(plain, estimated, "estimator must not perturb the channel");
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod covert;
 pub mod distinguish;
 pub mod probe;
 
-pub use covert::{run_covert_channel, CovertConfig, CovertResult};
+pub use covert::{run_covert_channel, run_covert_channel_estimated, CovertConfig, CovertResult};
 pub use distinguish::{distinguishable, mean_abs_diff, total_variation, LeakVerdict};
 pub use probe::{figure1_scenario, Figure1Scenario, ProbeCore, ProbeObservation};

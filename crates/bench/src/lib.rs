@@ -19,7 +19,7 @@
 //! is the default so the whole suite runs in minutes) and writes its raw
 //! series as JSON under `results/`.
 
-use dg_obs::{chrome_trace_json, Event, RunReport};
+use dg_obs::{chrome_trace_json, Event, LeakReport, RunReport};
 use dg_runner::RunnerConfig;
 use dg_system::ObsConfig;
 use serde::Serialize;
@@ -56,6 +56,8 @@ pub fn parse_args() -> Scale {
 /// * `--metrics <path>` — write the run's [`RunReport`] JSON there;
 /// * `--trace <path>` — write a Chrome `trace_event` JSON there
 ///   (load it in Perfetto / `chrome://tracing`);
+/// * `--leak <path>` — write the covert-channel leakage report
+///   (capacity-over-time) JSON there, on harnesses that run a probe;
 /// * `--jobs N` — worker threads for the sweep (falls back to the
 ///   `DG_JOBS` environment variable, then host parallelism);
 /// * `--journal <path>` — append per-job checkpoints there;
@@ -70,6 +72,8 @@ pub struct HarnessArgs {
     pub metrics: Option<PathBuf>,
     /// Destination for the Chrome trace JSON, if requested.
     pub trace: Option<PathBuf>,
+    /// Destination for the leakage (capacity-over-time) JSON, if requested.
+    pub leak: Option<PathBuf>,
     /// Explicit `--jobs` worker-count override.
     pub jobs: Option<usize>,
     /// Journal path from `--journal`.
@@ -87,12 +91,13 @@ impl HarnessArgs {
     }
 
     /// The [`ObsConfig`] matching the requested artifacts: event tracing
-    /// only when `--trace` was given, interval sampling only with
-    /// `--metrics`.
+    /// only when `--trace` was given, interval sampling and shaper
+    /// timelines only with `--metrics`.
     pub fn obs_config(&self) -> ObsConfig {
         ObsConfig {
             trace_capacity: self.trace.is_some().then_some(DEFAULT_TRACE_CAPACITY),
             interval_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
+            shaper_timeline_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
         }
     }
 
@@ -118,6 +123,17 @@ impl HarnessArgs {
         }
         if let Some(path) = &self.trace {
             write_artifact(path, &chrome_trace_json(events));
+        }
+    }
+
+    /// Writes the leakage capacity-over-time report when `--leak` was
+    /// given. Same failure policy as [`export`](Self::export).
+    pub fn export_leak(&self, report: &LeakReport) {
+        if let Some(path) = &self.leak {
+            match serde_json::to_string_pretty(report) {
+                Ok(json) => write_artifact(path, &json),
+                Err(e) => eprintln!("warning: cannot serialize leakage report: {e}"),
+            }
         }
     }
 }
@@ -157,6 +173,7 @@ pub fn parse_harness_args() -> HarnessArgs {
             "--full" => out.scale = Scale::paper(),
             "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
             "--trace" => out.trace = Some(PathBuf::from(value("--trace"))),
+            "--leak" => out.leak = Some(PathBuf::from(value("--leak"))),
             "--journal" => out.journal = Some(PathBuf::from(value("--journal"))),
             "--resume" => out.resume = Some(PathBuf::from(value("--resume"))),
             "--jobs" => match value("--jobs").parse::<usize>() {

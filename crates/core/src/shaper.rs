@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dg_dram::{AddressMapper, MapScheme, PhysLoc};
 use dg_mem::DomainShaper;
-use dg_obs::{EventKind, ShaperReport, Tracer};
+use dg_obs::{EventKind, ShaperReport, ShaperTimeline, ShaperTimelineReport, Tracer};
 use dg_rdag::exec::{RdagExecutor, SlotDemand};
 use dg_rdag::template::RdagTemplate;
 use dg_sim::clock::{ClockRatio, Cycle};
@@ -122,6 +122,9 @@ pub struct Shaper {
     fake_seq: u64,
     stats: ShaperStats,
     tracer: Tracer,
+    /// Windowed emission telemetry, recorded only when enabled. Purely
+    /// observational: it never influences what or when the shaper emits.
+    timeline: Option<ShaperTimeline>,
 }
 
 impl Shaper {
@@ -148,6 +151,7 @@ impl Shaper {
             fake_seq: 0,
             stats: ShaperStats::default(),
             tracer: Tracer::noop(),
+            timeline: None,
         }
     }
 
@@ -235,6 +239,10 @@ impl DomainShaper for Shaper {
                 // congestion, never on this domain's secrets.
                 break;
             }
+            // Telemetry inputs, captured before the slot is filled: how
+            // deep the private queue was and how long the slot sat due.
+            let depth = self.queue.len();
+            let slack = now - self.executor.due_at(demand.seq).unwrap_or(now);
             let req = match self.take_matching(&demand) {
                 Some(real) => {
                     self.stats.real_forwarded += 1;
@@ -257,6 +265,9 @@ impl DomainShaper for Shaper {
                     fake
                 }
             };
+            if let Some(tl) = &mut self.timeline {
+                tl.record_emission(now, depth, slack, req.kind.is_fake());
+            }
             self.executor.emitted(demand.seq, now);
             self.in_flight.insert(req.id, InFlight { seq: demand.seq });
             out.push(req);
@@ -282,6 +293,14 @@ impl DomainShaper for Shaper {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn enable_timeline(&mut self, window: Cycle) {
+        self.timeline = Some(ShaperTimeline::new(self.config.domain.0, window));
+    }
+
+    fn timeline(&self) -> Option<ShaperTimelineReport> {
+        self.timeline.as_ref().map(|tl| tl.report())
     }
 
     fn report(&self) -> Option<ShaperReport> {
@@ -495,6 +514,30 @@ mod tests {
                 .collect()
         };
         assert_eq!(visible(&idle_emissions), visible(&emissions));
+    }
+
+    #[test]
+    fn timeline_records_windows_without_changing_emissions() {
+        let t = RdagTemplate::new(1, 150, 0.0);
+        let mut plain = Shaper::new(cfg_with(t));
+        let plain_emissions = run_standalone(&mut plain, 2000, 100);
+
+        let mut observed = Shaper::new(cfg_with(t));
+        observed.enable_timeline(500);
+        let observed_emissions = run_standalone(&mut observed, 2000, 100);
+
+        // Observer effect: enabling telemetry changes nothing visible.
+        let key = |e: &[(Cycle, MemRequest)]| -> Vec<(Cycle, u64)> {
+            e.iter().map(|(c, r)| (*c, r.addr)).collect()
+        };
+        assert_eq!(key(&plain_emissions), key(&observed_emissions));
+
+        let tl = observed.timeline().expect("timeline enabled");
+        assert_eq!(tl.domain, 0);
+        assert_eq!(tl.window, 500);
+        assert!(tl.windows.len() >= 2);
+        let total: u64 = tl.windows.iter().map(|w| w.real + w.fake).sum();
+        assert_eq!(total, observed_emissions.len() as u64);
     }
 
     #[test]

@@ -17,6 +17,26 @@ enum LastCol {
     Write { data_end: Cycle },
 }
 
+/// The device-level constraint that currently blocks a command, as reported
+/// by [`DramDevice::blocking_reason`]. Deliberately device-local (no
+/// domains, no observability types) so higher layers can map it onto their
+/// own attribution categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The target bank's own timing horizon (tRCD/tRAS/tRP/tRC/tWR).
+    Bank,
+    /// ACT-to-ACT spacing across banks (tRRD).
+    Rrd,
+    /// The four-activate window (tFAW).
+    Faw,
+    /// Data-bus occupancy or turnaround (tCCD, read↔write padding).
+    Bus,
+    /// The shared command bus is carrying another command this edge.
+    CmdBus,
+    /// A refresh is in progress (tRFC).
+    Refresh,
+}
+
 /// A single-channel, single-rank DRAM device.
 ///
 /// The device answers two questions for the memory-controller scheduler:
@@ -142,6 +162,73 @@ impl DramDevice {
             }
         }
         t.next_multiple_of(self.timing.cmd_cycle)
+    }
+
+    /// The binding constraint preventing `cmd` from issuing at `now`, or
+    /// `None` when it may issue now. Ties are resolved toward the more
+    /// specific reason (bank and window constraints before generic bus
+    /// occupancy). Pure observation: never mutates device state, so
+    /// attribution layers can call it freely without perturbing timing.
+    pub fn blocking_reason(&self, cmd: DramCommand, now: Cycle) -> Option<BlockReason> {
+        if self.earliest(cmd, now) <= now {
+            return None;
+        }
+        // Priority order for ties: refresh first (it also pushes bank
+        // horizons, and "refresh" is the more informative answer), then the
+        // command-specific constraints, then generic command-bus occupancy.
+        let mut cands: Vec<(Cycle, BlockReason)> = vec![(self.refresh_until, BlockReason::Refresh)];
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                cands.push((
+                    self.banks[bank as usize].earliest_activate(),
+                    BlockReason::Bank,
+                ));
+                cands.push((self.next_act_any, BlockReason::Rrd));
+                cands.push((self.faw_horizon(), BlockReason::Faw));
+            }
+            DramCommand::Read { bank, .. } => {
+                cands.push((
+                    self.banks[bank as usize].earliest_column(),
+                    BlockReason::Bank,
+                ));
+                cands.push((self.next_col_any, BlockReason::Bus));
+                cands.push((self.read_turnaround(), BlockReason::Bus));
+            }
+            DramCommand::Write { bank, .. } => {
+                cands.push((
+                    self.banks[bank as usize].earliest_column(),
+                    BlockReason::Bank,
+                ));
+                cands.push((self.next_col_any, BlockReason::Bus));
+                cands.push((self.write_turnaround(), BlockReason::Bus));
+            }
+            DramCommand::Precharge { bank } => {
+                cands.push((
+                    self.banks[bank as usize].earliest_precharge(),
+                    BlockReason::Bank,
+                ));
+            }
+            DramCommand::Refresh => {
+                let all_pre = self
+                    .banks
+                    .iter()
+                    .map(|b| b.earliest_activate())
+                    .max()
+                    .unwrap_or(0);
+                cands.push((all_pre, BlockReason::Bank));
+            }
+        }
+        cands.push((self.next_cmd, BlockReason::CmdBus));
+        // Pick the latest horizon; `>` keeps the earliest-listed entry on
+        // ties, so refresh beats the bank horizons it also pushed and the
+        // specific reasons beat generic command-bus occupancy.
+        let mut best = cands[0];
+        for &(t, r) in &cands[1..] {
+            if t > best.0 {
+                best = (t, r);
+            }
+        }
+        Some(best.1)
     }
 
     /// Earliest ACT as constrained by the four-activate window.
@@ -432,5 +519,42 @@ mod tests {
         let mut d = device();
         d.issue(act(0, 1), 0);
         d.issue(rd(0), 0); // before tRCD
+    }
+
+    #[test]
+    fn blocking_reason_names_the_binding_constraint() {
+        let mut d = device();
+        assert_eq!(d.blocking_reason(act(0, 1), 0), None);
+        d.issue(act(0, 1), 0);
+        // RD right after ACT waits on the bank's tRCD.
+        assert_eq!(d.blocking_reason(rd(0), 1), Some(BlockReason::Bank));
+        // ACT to another bank waits on tRRD.
+        assert_eq!(d.blocking_reason(act(1, 1), 1), Some(BlockReason::Rrd));
+        // Write→read turnaround holds a read on another (ready) bank.
+        d.issue(act(1, 1), d.earliest(act(1, 1), 1));
+        let t_wr = d.earliest(wr(0), 0);
+        let wr_end = d.issue(wr(0), t_wr).unwrap();
+        assert_eq!(d.blocking_reason(rd(1), wr_end), Some(BlockReason::Bus));
+    }
+
+    #[test]
+    fn blocking_reason_reports_faw_and_refresh() {
+        let mut d = device();
+        let mut at = 0;
+        for b in 0..4 {
+            at = d.earliest(act(b, 0), at);
+            d.issue(act(b, 0), at);
+        }
+        // The fifth ACT is held by the four-activate window (tFAW is the
+        // latest horizon: it spans from the *first* ACT, well past tRRD).
+        assert_eq!(d.blocking_reason(act(4, 0), at + 1), Some(BlockReason::Faw));
+
+        let mut d = device();
+        let due = d.earliest(DramCommand::Refresh, d.timing().tREFI);
+        d.issue(DramCommand::Refresh, due);
+        assert_eq!(
+            d.blocking_reason(act(0, 1), due + 1),
+            Some(BlockReason::Refresh)
+        );
     }
 }

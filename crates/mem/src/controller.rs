@@ -2,15 +2,15 @@
 
 use std::collections::VecDeque;
 
-use dg_dram::{AddressMapper, DramCommand, DramDevice, MapScheme, PhysLoc};
-use dg_obs::{BankCmd, EventKind, Tracer};
+use dg_dram::{AddressMapper, BlockReason, DramCommand, DramDevice, MapScheme, PhysLoc};
+use dg_obs::{BankCmd, EventKind, InterferenceMatrix, InterferenceReport, StallCause, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::config::{RowPolicy, SystemConfig};
-use dg_sim::types::{MemRequest, MemResponse};
+use dg_sim::types::{DomainId, MemRequest, MemResponse};
 use serde::{Deserialize, Serialize};
 
 use crate::front::MemorySubsystem;
-use crate::stats::MemStats;
+use crate::stats::{BankStats, MemStats};
 
 /// DRAM command scheduling policy (§2.1: "command scheduling can vary in
 /// complexity, ranging from a basic First Come First Served (FCFS) policy,
@@ -39,6 +39,43 @@ struct Txn {
     state: TxnState,
 }
 
+/// Who last touched each shared DRAM resource, so a blocked command's wait
+/// can be charged to the domain that made the resource busy.
+///
+/// Purely observational: updated only when the scheduler issues a command
+/// anyway, and read by [`MemoryController::attribute_stalls`]. It never
+/// feeds back into scheduling decisions, so attribution cannot perturb the
+/// simulation (the observer-effect contract of `dg_obs::leak`).
+#[derive(Debug)]
+struct LeakTrack {
+    matrix: InterferenceMatrix,
+    /// Domain whose command last engaged each bank (`None` for
+    /// refresh-driven commands with no owner).
+    bank_user: Vec<Option<DomainId>>,
+    /// Domain of the last column command (owns the data bus / turnaround).
+    col_user: Option<DomainId>,
+    /// Domain of the last command on the shared command bus.
+    cmd_user: Option<DomainId>,
+    /// Domains of up to the last four ACTs (tRRD/tFAW window), oldest first.
+    act_users: VecDeque<Option<DomainId>>,
+    /// Set when a command issued on the current bus edge: the arbitration
+    /// winner other pending transactions lost to. `None` between edges.
+    issued_this_edge: Option<Option<DomainId>>,
+}
+
+impl LeakTrack {
+    fn new(domains: usize, banks: usize) -> Self {
+        Self {
+            matrix: InterferenceMatrix::new(domains),
+            bank_user: vec![None; banks],
+            col_user: None,
+            cmd_user: None,
+            act_users: VecDeque::with_capacity(4),
+            issued_this_edge: None,
+        }
+    }
+}
+
 /// The shared memory controller: a global transaction queue feeding a
 /// command scheduler that drives the DRAM device.
 ///
@@ -56,6 +93,10 @@ pub struct MemoryController {
     stats: MemStats,
     refresh_pending: bool,
     tracer: Tracer,
+    /// Cycle each bank's current row was opened (for row-hit accounting);
+    /// `None` while precharged.
+    bank_open_since: Vec<Option<Cycle>>,
+    leak: LeakTrack,
 }
 
 impl MemoryController {
@@ -69,7 +110,10 @@ impl MemoryController {
             cfg.dram_org.line_bytes,
         );
         // Reserve a couple of extra stats slots for shaper-internal domains.
-        let stats = MemStats::new(cfg.cores + 2, cfg.dram_org.line_bytes);
+        let domains = cfg.cores + 2;
+        let banks = cfg.dram_org.banks as usize;
+        let mut stats = MemStats::new(domains, cfg.dram_org.line_bytes);
+        stats.banks = vec![BankStats::default(); banks];
         Self {
             device,
             mapper,
@@ -80,6 +124,8 @@ impl MemoryController {
             stats,
             refresh_pending: false,
             tracer: Tracer::noop(),
+            bank_open_since: vec![None; banks],
+            leak: LeakTrack::new(domains, banks),
         }
     }
 
@@ -107,6 +153,60 @@ impl MemoryController {
                 bank: 0,
             },
         });
+    }
+
+    /// Bookkeeping for every issued command: trace event, per-bank activity
+    /// counters, row-open state, and the resource-ownership trail used by
+    /// stall attribution. `domain` is the owner of the transaction the
+    /// command serves (`None` for refresh-driven maintenance commands).
+    fn note_cmd(&mut self, cmd: DramCommand, now: Cycle, domain: Option<DomainId>) {
+        self.trace_cmd(cmd, now);
+        self.leak.cmd_user = domain;
+        self.leak.issued_this_edge = Some(domain);
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                let b = bank as usize;
+                self.stats.banks[b].acts += 1;
+                self.bank_open_since[b] = Some(now);
+                self.leak.bank_user[b] = domain;
+                if self.leak.act_users.len() == 4 {
+                    self.leak.act_users.pop_front();
+                }
+                self.leak.act_users.push_back(domain);
+            }
+            DramCommand::Read {
+                bank,
+                auto_precharge,
+            }
+            | DramCommand::Write {
+                bank,
+                auto_precharge,
+            } => {
+                let b = bank as usize;
+                self.leak.col_user = domain;
+                self.leak.bank_user[b] = domain;
+                if auto_precharge {
+                    self.stats.banks[b].precharges += 1;
+                    self.bank_open_since[b] = None;
+                }
+            }
+            DramCommand::Precharge { bank } => {
+                let b = bank as usize;
+                self.stats.banks[b].precharges += 1;
+                self.bank_open_since[b] = None;
+                self.leak.bank_user[b] = domain;
+            }
+            DramCommand::Refresh => {
+                for open in &mut self.bank_open_since {
+                    *open = None;
+                }
+            }
+        }
+    }
+
+    /// The interference matrix accumulated so far.
+    pub fn interference_report(&self) -> InterferenceReport {
+        self.leak.matrix.report()
     }
 
     /// The address mapper in use (attackers and shapers need it to target
@@ -159,7 +259,7 @@ impl MemoryController {
                 let cmd = DramCommand::Precharge { bank: b };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
-                    self.trace_cmd(cmd, now);
+                    self.note_cmd(cmd, now, None);
                     return true;
                 }
             }
@@ -172,7 +272,7 @@ impl MemoryController {
         let cmd = DramCommand::Refresh;
         if self.device.earliest(cmd, now) == now {
             self.device.issue(cmd, now);
-            self.trace_cmd(cmd, now);
+            self.note_cmd(cmd, now, None);
             self.refresh_pending = false;
             self.stats.refreshes = self.device.refreshes();
             self.stats.energy.record_refresh();
@@ -198,11 +298,21 @@ impl MemoryController {
 
     fn issue_column(&mut self, idx: usize, now: Cycle) {
         let cmd = self.column_cmd(&self.txq[idx]);
+        let txn = &self.txq[idx];
+        let (bank, arrived, domain) = (txn.loc.bank as usize, txn.arrived, txn.req.domain);
+        // A row hit means the row was already open when this transaction
+        // arrived; otherwise the transaction paid for (at least) its own
+        // activation. Classify before note_cmd clears auto-precharged rows.
+        if self.bank_open_since[bank].is_some_and(|opened| opened < arrived) {
+            self.stats.banks[bank].row_hits += 1;
+        } else {
+            self.stats.banks[bank].row_misses += 1;
+        }
         let done = self
             .device
             .issue(cmd, now)
             .expect("column returns data time");
-        self.trace_cmd(cmd, now);
+        self.note_cmd(cmd, now, Some(domain));
         self.txq[idx].state = TxnState::Issued { done };
     }
 
@@ -216,6 +326,7 @@ impl MemoryController {
             return;
         };
         let loc = self.txq[idx].loc;
+        let domain = self.txq[idx].req.domain;
         match self.device.bank(loc.bank).open_row() {
             Some(row) if row == loc.row => {
                 let cmd = self.column_cmd(&self.txq[idx]);
@@ -227,7 +338,7 @@ impl MemoryController {
                 let cmd = DramCommand::Precharge { bank: loc.bank };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
-                    self.trace_cmd(cmd, now);
+                    self.note_cmd(cmd, now, Some(domain));
                 }
             }
             None => {
@@ -237,7 +348,7 @@ impl MemoryController {
                 };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
-                    self.trace_cmd(cmd, now);
+                    self.note_cmd(cmd, now, Some(domain));
                 }
             }
         }
@@ -270,13 +381,14 @@ impl MemoryController {
             }
             seen_banks |= bank_bit;
             if self.device.bank(t.loc.bank).open_row().is_none() {
+                let domain = t.req.domain;
                 let cmd = DramCommand::Activate {
                     bank: t.loc.bank,
                     row: t.loc.row,
                 };
                 if self.device.earliest(cmd, now) == now {
                     self.device.issue(cmd, now);
-                    self.trace_cmd(cmd, now);
+                    self.note_cmd(cmd, now, Some(domain));
                     return;
                 }
             }
@@ -299,13 +411,86 @@ impl MemoryController {
                         && Some(t.loc.row) == open
                 });
                 if !hit_waiting {
+                    let domain = self.txq[idx].req.domain;
                     let cmd = DramCommand::Precharge { bank };
                     if self.device.earliest(cmd, now) == now {
                         self.device.issue(cmd, now);
-                        self.trace_cmd(cmd, now);
+                        self.note_cmd(cmd, now, Some(domain));
                     }
                 }
             }
+        }
+    }
+
+    /// Charges this command-bus edge's wait time for every pending
+    /// transaction to the domain whose earlier command made the blocking
+    /// resource busy. Runs after [`MemoryController::schedule`] on each bus
+    /// edge; purely observational (reads device horizons, never issues).
+    fn attribute_stalls(&mut self, now: Cycle) {
+        let cmd_cycle = self.device.timing().cmd_cycle;
+        let mut bank_head: Vec<Option<DomainId>> = vec![None; self.device.bank_count() as usize];
+        let mut charges: Vec<(u16, Option<u16>, StallCause)> = Vec::new();
+        for txn in &self.txq {
+            if !matches!(txn.state, TxnState::Pending) {
+                continue;
+            }
+            let b = txn.loc.bank as usize;
+            let victim = txn.req.domain.0;
+            // FCFS within a bank: a transaction behind an older same-bank
+            // transaction waits on that owner, whatever the device says.
+            if let Some(owner) = bank_head[b] {
+                charges.push((victim, Some(owner.0), StallCause::QueueWait));
+                continue;
+            }
+            bank_head[b] = Some(txn.req.domain);
+            // This transaction heads its bank: what command does it need,
+            // and which device horizon holds that command back?
+            let cmd = match self.device.bank(txn.loc.bank).open_row() {
+                Some(row) if row == txn.loc.row => self.column_cmd(txn),
+                Some(_) => DramCommand::Precharge { bank: txn.loc.bank },
+                None => DramCommand::Activate {
+                    bank: txn.loc.bank,
+                    row: txn.loc.row,
+                },
+            };
+            let as_u16 = |d: Option<DomainId>| d.map(|d| d.0);
+            match self.device.blocking_reason(cmd, now) {
+                Some(BlockReason::Bank) => {
+                    charges.push((victim, as_u16(self.leak.bank_user[b]), StallCause::BankBusy));
+                }
+                Some(BlockReason::Rrd) => {
+                    let culprit = self.leak.act_users.back().copied().flatten();
+                    charges.push((victim, culprit.map(|d| d.0), StallCause::ActWindow));
+                }
+                Some(BlockReason::Faw) => {
+                    // tFAW binds to the oldest ACT in the window.
+                    let culprit = self.leak.act_users.front().copied().flatten();
+                    charges.push((victim, culprit.map(|d| d.0), StallCause::ActWindow));
+                    self.stats.banks[b].faw_stall_cycles += cmd_cycle;
+                }
+                Some(BlockReason::Bus) => {
+                    charges.push((victim, as_u16(self.leak.col_user), StallCause::BusConflict));
+                }
+                Some(BlockReason::CmdBus) => {
+                    charges.push((victim, as_u16(self.leak.cmd_user), StallCause::BusConflict));
+                }
+                Some(BlockReason::Refresh) => {
+                    charges.push((victim, None, StallCause::Refresh));
+                }
+                None => {
+                    // Legal this edge but not picked: lost arbitration to
+                    // whichever command did issue, or held back by the
+                    // refresh drain.
+                    if let Some(winner) = self.leak.issued_this_edge {
+                        charges.push((victim, as_u16(winner), StallCause::BusConflict));
+                    } else if self.refresh_pending {
+                        charges.push((victim, None, StallCause::Refresh));
+                    }
+                }
+            }
+        }
+        for (victim, culprit, cause) in charges {
+            self.leak.matrix.charge(victim, culprit, cause, cmd_cycle);
         }
     }
 
@@ -365,7 +550,9 @@ impl MemorySubsystem for MemoryController {
     fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
         let responses = self.collect(now);
         if now.is_multiple_of(self.device.timing().cmd_cycle) {
+            self.leak.issued_this_edge = None;
             self.schedule(now);
+            self.attribute_stalls(now);
         }
         responses
     }
@@ -384,6 +571,10 @@ impl MemorySubsystem for MemoryController {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn interference(&self) -> Option<InterferenceReport> {
+        Some(self.leak.matrix.report())
     }
 }
 
@@ -613,6 +804,81 @@ mod tests {
         }
         assert!(mc.device.refreshes() >= 2, "refreshes ran under load");
         assert_eq!(sent, done, "no transaction lost across refresh");
+    }
+
+    #[test]
+    fn bank_counters_track_hits_and_misses() {
+        let c = cfg(); // open-row
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        // First access opens the row (miss); two more to the same row hit.
+        read_at(&mut mc, 0x0, 1, 0);
+        let mut now = 0;
+        let mut done = 0;
+        while done < 3 {
+            if done == 1 && mc.occupancy() == 0 {
+                read_at(&mut mc, 0x0, 2, now);
+                read_at(&mut mc, 0x0, 3, now);
+            }
+            done += mc.tick(now).len();
+            now += 1;
+        }
+        let b0 = &mc.stats().banks[0];
+        assert_eq!(b0.acts, 1);
+        assert_eq!(b0.row_misses, 1);
+        assert_eq!(b0.row_hits, 2);
+        assert_eq!(b0.precharges, 0);
+    }
+
+    #[test]
+    fn closed_row_counts_auto_precharges() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        read_at(&mut mc, 0x0, 1, 0);
+        run_until_done(&mut mc, 10_000);
+        let b0 = &mc.stats().banks[0];
+        assert_eq!(b0.acts, 1);
+        assert_eq!(b0.row_misses, 1);
+        assert_eq!(b0.precharges, 1);
+    }
+
+    #[test]
+    fn interference_attributes_cross_domain_stalls() {
+        let c = cfg().with_row_policy(RowPolicy::Closed);
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        // Two domains hammering the same bank: whoever queues second waits
+        // on the first, and the matrix must say so.
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        for now in 0..20_000 {
+            if now % 40 == 0 && mc.free_space() >= 2 {
+                let a = MemRequest::read(DomainId(0), 0x0, now).with_id(ReqId(sent));
+                let b = MemRequest::read(DomainId(1), 0x2000, now).with_id(ReqId(sent + 1));
+                mc.try_send(a, now).unwrap();
+                mc.try_send(b, now).unwrap();
+                sent += 2;
+            }
+            done += mc.tick(now).len() as u64;
+        }
+        assert!(done > 0);
+        let report = mc.interference().expect("controller attributes stalls");
+        // Domain 1 always queues behind domain 0 on the shared bank.
+        assert!(
+            report.matrix[1][0] > 0,
+            "expected cross-domain stall cycles, got {report:?}"
+        );
+        assert!(report.total_stall_cycles > 0);
+        let by_cause: u64 = report.by_cause.iter().map(|c| c.cycles).sum();
+        assert_eq!(by_cause, report.total_stall_cycles);
+    }
+
+    #[test]
+    fn idle_controller_attributes_nothing() {
+        let c = cfg();
+        let mut mc = MemoryController::new(&c, SchedPolicy::FrFcfs);
+        for now in 0..1_000 {
+            mc.tick(now);
+        }
+        assert_eq!(mc.interference().unwrap().total_stall_cycles, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::collections::VecDeque;
 
-use dg_obs::{ShaperReport, Tracer};
+use dg_obs::{InterferenceReport, ShaperReport, ShaperTimelineReport, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::types::{DomainId, MemRequest, MemResponse};
 
@@ -45,6 +45,24 @@ pub trait MemorySubsystem: Send {
     fn shaper_reports(&self) -> Vec<ShaperReport> {
         Vec::new()
     }
+
+    /// Who-delayed-whom contention attribution, when this subsystem drives
+    /// a stall-attributing controller. Fixed-schedule defenses without a
+    /// shared command scheduler return `None`.
+    fn interference(&self) -> Option<InterferenceReport> {
+        None
+    }
+
+    /// Enables windowed telemetry on any nested shapers; the default (and
+    /// shaperless subsystems) ignore it.
+    fn enable_shaper_timelines(&mut self, _window: Cycle) {}
+
+    /// Windowed shaper telemetry, empty unless
+    /// [`enable_shaper_timelines`](Self::enable_shaper_timelines) was called
+    /// on a subsystem with timeline-capable shapers.
+    fn shaper_timelines(&self) -> Vec<ShaperTimelineReport> {
+        Vec::new()
+    }
 }
 
 /// A per-security-domain request shaper: the proxy agent of §4 that sits
@@ -82,6 +100,15 @@ pub trait DomainShaper: Send {
     /// Conformance report for the end-of-run [`dg_obs::RunReport`];
     /// shapers without interesting statistics return `None`.
     fn report(&self) -> Option<ShaperReport> {
+        None
+    }
+
+    /// Enables windowed emission telemetry; shapers without a timeline
+    /// (like [`PassThrough`]) ignore it.
+    fn enable_timeline(&mut self, _window: Cycle) {}
+
+    /// The recorded emission timeline, if enabled and supported.
+    fn timeline(&self) -> Option<ShaperTimelineReport> {
         None
     }
 }
@@ -247,6 +274,20 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
 
     fn shaper_reports(&self) -> Vec<ShaperReport> {
         self.shapers.iter().filter_map(|s| s.report()).collect()
+    }
+
+    fn interference(&self) -> Option<InterferenceReport> {
+        self.inner.interference()
+    }
+
+    fn enable_shaper_timelines(&mut self, window: Cycle) {
+        for s in &mut self.shapers {
+            s.enable_timeline(window);
+        }
+    }
+
+    fn shaper_timelines(&self) -> Vec<ShaperTimelineReport> {
+        self.shapers.iter().filter_map(|s| s.timeline()).collect()
     }
 }
 

@@ -41,4 +41,4 @@ pub mod stats;
 
 pub use controller::{MemoryController, SchedPolicy};
 pub use front::{DomainShaper, MemorySubsystem, PassThrough, ShapedMemory};
-pub use stats::{DomainStats, MemStats};
+pub use stats::{BankStats, DomainStats, MemStats};

@@ -71,10 +71,29 @@ impl Default for DomainStats {
     }
 }
 
+/// Per-bank activity counters maintained by the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// ACT commands issued to the bank.
+    pub acts: u64,
+    /// Column accesses served from a row opened before the transaction
+    /// arrived (row-buffer hits).
+    pub row_hits: u64,
+    /// Column accesses that needed their own activation first.
+    pub row_misses: u64,
+    /// Precharge operations (explicit PRE plus auto-precharge).
+    pub precharges: u64,
+    /// Cycles an ACT to this bank was held by the tFAW four-activate window.
+    pub faw_stall_cycles: u64,
+}
+
 /// Statistics for the whole memory subsystem.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemStats {
     per_domain: Vec<DomainStats>,
+    /// Per-bank activity counters (empty for memory paths without a bank
+    /// model, e.g. fixed-latency defenses).
+    pub banks: Vec<BankStats>,
     /// Total DRAM refresh operations observed.
     pub refreshes: u64,
     /// Cycles the measurement covers (set by the owner at the end of a run).
@@ -93,6 +112,7 @@ impl MemStats {
     pub fn new(domains: usize, line_bytes: u64) -> Self {
         Self {
             per_domain: (0..domains).map(|_| DomainStats::new()).collect(),
+            banks: Vec::new(),
             refreshes: 0,
             cycles: 0,
             energy: EnergyCounter::new(),

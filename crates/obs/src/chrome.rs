@@ -9,6 +9,12 @@
 //!
 //! Timestamps are in microseconds by the spec; we write one CPU cycle as one
 //! microsecond, so "1 µs" in the viewer reads as "1 cycle".
+//!
+//! Request causality across layers is drawn with flow events: a flow starts
+//! (`ph: "s"`) at core-side issue, steps (`ph: "t"`) through the
+//! transaction-queue entry on the DRAM process, and finishes (`ph: "f"`) at
+//! the response — all keyed by the request id, so the viewer draws arrows
+//! from issue to completion.
 
 use crate::event::{Event, EventKind};
 use serde::Value;
@@ -57,6 +63,55 @@ fn event_entry(e: &Event) -> Value {
     obj(fields)
 }
 
+/// Flow event (`s`/`t`/`f`) tying a request's entries together across the
+/// requests and dram processes.
+fn flow_entry(ph: &str, cycle: u64, id: u64, pid: u64, tid: u64) -> Value {
+    let mut fields = vec![
+        ("name", Value::Str("req_flow".to_string())),
+        ("cat", Value::Str("flow".to_string())),
+        ("ph", Value::Str(ph.to_string())),
+        ("ts", Value::UInt(cycle)),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(tid)),
+        ("id", Value::Str(format!("{id:#x}"))),
+    ];
+    if ph == "f" {
+        // Bind the finish to the enclosing slice's end.
+        fields.push(("bp", Value::Str("e".to_string())));
+    }
+    obj(fields)
+}
+
+/// Emits the entry for `e` plus any flow event linking it into its
+/// request's issue → DRAM → completion chain.
+fn event_entries(e: &Event, entries: &mut Vec<Value>) {
+    entries.push(event_entry(e));
+    match e.kind {
+        EventKind::Issue { id, domain, .. } => {
+            entries.push(flow_entry(
+                "s",
+                e.cycle,
+                id.0,
+                PID_REQUESTS,
+                u64::from(domain.0),
+            ));
+        }
+        EventKind::TxqEnqueue { id, bank, .. } => {
+            entries.push(flow_entry("t", e.cycle, id.0, PID_DRAM, u64::from(bank)));
+        }
+        EventKind::Response { id, domain, .. } => {
+            entries.push(flow_entry(
+                "f",
+                e.cycle,
+                id.0,
+                PID_REQUESTS,
+                u64::from(domain.0),
+            ));
+        }
+        _ => {}
+    }
+}
+
 fn args_for(kind: &EventKind) -> Value {
     match *kind {
         EventKind::Issue { addr, is_write, .. } => obj(vec![
@@ -96,7 +151,9 @@ pub fn chrome_trace(events: &[Event]) -> Value {
         process_name(PID_REQUESTS, "requests"),
         process_name(PID_DRAM, "dram"),
     ];
-    entries.extend(events.iter().map(event_entry));
+    for e in events {
+        event_entries(e, &mut entries);
+    }
     obj(vec![
         ("traceEvents", Value::Seq(entries)),
         ("displayTimeUnit", Value::Str("ms".to_string())),
@@ -151,8 +208,9 @@ mod tests {
             .iter()
             .find(|(k, _)| k == "traceEvents")
             .expect("traceEvents key present");
-        // 2 metadata entries + 3 events.
-        assert_eq!(tev.as_seq().expect("array").len(), 5);
+        // 2 metadata entries + 3 events + flow start/finish for the
+        // issue/response pair.
+        assert_eq!(tev.as_seq().expect("array").len(), 7);
     }
 
     #[test]
@@ -163,14 +221,52 @@ mod tests {
             .iter()
             .filter_map(|e| e.get("ph").and_then(Value::as_str))
             .collect();
-        assert_eq!(phases, vec!["M", "M", "b", "i", "e"]);
-        // The async begin/end share an id.
+        assert_eq!(phases, vec!["M", "M", "b", "s", "i", "e", "f"]);
+        // The async begin/end and both flow endpoints share an id.
         let ids: Vec<&str> = tev
             .iter()
             .filter_map(|e| e.get("id").and_then(Value::as_str))
             .collect();
-        assert_eq!(ids.len(), 2);
-        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids.len(), 4);
+        assert!(ids.iter().all(|&i| i == ids[0]));
+    }
+
+    #[test]
+    fn flow_links_issue_through_dram_to_response() {
+        let mut events = sample_events();
+        events.insert(
+            1,
+            Event {
+                cycle: 11,
+                kind: EventKind::TxqEnqueue {
+                    id: ReqId::compose(DomainId(1), 7),
+                    domain: DomainId(1),
+                    bank: 3,
+                },
+            },
+        );
+        let v = chrome_trace(&events);
+        let tev = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+        let flows: Vec<&Value> = tev
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("flow"))
+            .collect();
+        let phases: Vec<&str> = flows
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert_eq!(phases, vec!["s", "t", "f"]);
+        // The step rides on the DRAM process (bank thread), drawing the
+        // cross-process arrow; the finish binds to the enclosing slice.
+        assert_eq!(flows[1].get("pid").and_then(Value::as_u64), Some(PID_DRAM));
+        assert_eq!(flows[1].get("tid").and_then(Value::as_u64), Some(3));
+        assert_eq!(flows[2].get("bp").and_then(Value::as_str), Some("e"));
+        // All flow entries share the request id.
+        let ids: Vec<&str> = flows
+            .iter()
+            .filter_map(|e| e.get("id").and_then(Value::as_str))
+            .collect();
+        assert!(ids.iter().all(|&i| i == ids[0]));
     }
 
     #[test]

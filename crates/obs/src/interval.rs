@@ -90,6 +90,16 @@ impl IntervalSampler {
         self.window_start = now;
     }
 
+    /// Flushes the trailing partial window at end-of-run: records a final
+    /// sample covering `window_start..now` when the run ends mid-window.
+    /// A no-op when `now` sits exactly on a window boundary (that window
+    /// was already sampled) so flushing is idempotent.
+    pub fn flush(&mut self, now: Cycle, instructions: &[u64], bytes: &[u64]) {
+        if now > self.window_start {
+            self.sample(now, instructions, bytes);
+        }
+    }
+
     /// The samples recorded so far.
     pub fn samples(&self) -> &[IntervalSample] {
         &self.samples
@@ -123,6 +133,30 @@ mod tests {
         assert_eq!(samples[1].start_cycle, 100);
         assert_eq!(samples[1].ipc[0], 0.0);
         assert_eq!(samples[1].bandwidth_gbps[0], 0.0);
+    }
+
+    #[test]
+    fn flush_reports_trailing_partial_window() {
+        let mut s = IntervalSampler::new(100, 1e9, 1, 1);
+        s.sample(100, &[50], &[0]);
+        // The run ends at cycle 140, mid-window: 30 instructions in the
+        // trailing 40 cycles.
+        s.flush(140, &[80], &[0]);
+        let samples = s.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].start_cycle, 100);
+        assert!((samples[1].ipc[0] - 30.0 / 40.0).abs() < 1e-12);
+        // Idempotent: a second flush at the same cycle adds nothing.
+        s.flush(140, &[80], &[0]);
+        assert_eq!(s.samples().len(), 2);
+    }
+
+    #[test]
+    fn flush_on_boundary_is_a_no_op() {
+        let mut s = IntervalSampler::new(100, 1e9, 1, 1);
+        s.sample(100, &[50], &[0]);
+        s.flush(100, &[50], &[0]);
+        assert_eq!(s.samples().len(), 1);
     }
 
     #[test]

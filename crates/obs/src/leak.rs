@@ -1,0 +1,716 @@
+//! `dg-leak`: security observability — contention attribution, shaper
+//! telemetry, and online leakage estimation.
+//!
+//! Three instruments, all strictly read-only with respect to simulation
+//! state (the observer-effect contract: enabling any of them must never
+//! perturb timing or RNG streams):
+//!
+//! * [`InterferenceMatrix`] — every command-bus edge a request spends
+//!   stalled is attributed to the security domain whose earlier command
+//!   holds the binding resource (bank, activation window, data bus, …),
+//!   yielding a per-domain-pair "who delayed whom" matrix.
+//! * [`ShaperTimeline`] — windowed time series of a shaper's private-queue
+//!   depth, rDAG slot slack, and real-vs-fake slot fills: the visual proof
+//!   that emissions are secret-independent.
+//! * [`LeakEstimator`] — windowed joint histograms of attacker-observable
+//!   latencies keyed by victim secret class, reduced to a bias-corrected
+//!   mutual-information estimate and a channel-capacity-over-time series
+//!   (the same bits/s units as `attacks::covert::capacity_bits_per_sec`).
+
+use dg_sim::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Number of stall-cause categories tracked by the interference matrix.
+pub const STALL_CAUSES: usize = 5;
+
+/// Why a request could not make progress on a given command-bus edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallCause {
+    /// An older same-bank transaction is ahead in the queue.
+    QueueWait,
+    /// The target bank's timing horizon (tRCD/tRAS/tRP/tRC) is not met.
+    BankBusy,
+    /// The shared data/command bus is occupied or turning around
+    /// (tCCD, read↔write turnaround, command-bus arbitration).
+    BusConflict,
+    /// Activation-window spacing (tRRD or the tFAW four-activate window).
+    ActWindow,
+    /// A refresh is pending or in progress.
+    Refresh,
+}
+
+impl StallCause {
+    /// All causes, in matrix-index order.
+    pub const ALL: [StallCause; STALL_CAUSES] = [
+        StallCause::QueueWait,
+        StallCause::BankBusy,
+        StallCause::BusConflict,
+        StallCause::ActWindow,
+        StallCause::Refresh,
+    ];
+
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::QueueWait => "queue_wait",
+            StallCause::BankBusy => "bank_busy",
+            StallCause::BusConflict => "bus_conflict",
+            StallCause::ActWindow => "act_window",
+            StallCause::Refresh => "refresh",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::QueueWait => 0,
+            StallCause::BankBusy => 1,
+            StallCause::BusConflict => 2,
+            StallCause::ActWindow => 3,
+            StallCause::Refresh => 4,
+        }
+    }
+}
+
+/// Accumulates stalled cycles by (victim domain, culprit domain) pair.
+///
+/// The diagonal is self-interference (a domain queueing behind its own
+/// traffic); refresh stalls have no culprit domain and appear only in the
+/// by-cause totals.
+#[derive(Debug, Clone)]
+pub struct InterferenceMatrix {
+    domains: usize,
+    cells: Vec<u64>,
+    by_cause: [u64; STALL_CAUSES],
+    total: u64,
+}
+
+impl InterferenceMatrix {
+    /// Creates an all-zero matrix over `domains` security domains.
+    pub fn new(domains: usize) -> Self {
+        Self {
+            domains,
+            cells: vec![0; domains * domains],
+            by_cause: [0; STALL_CAUSES],
+            total: 0,
+        }
+    }
+
+    /// Number of domains tracked.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Charges `cycles` of stall on `victim` to `culprit` for `cause`.
+    /// Out-of-range domains are ignored (shaper-reserved id spaces).
+    pub fn charge(&mut self, victim: u16, culprit: Option<u16>, cause: StallCause, cycles: u64) {
+        self.total += cycles;
+        self.by_cause[cause.index()] += cycles;
+        if let Some(c) = culprit {
+            let (v, c) = (victim as usize, c as usize);
+            if v < self.domains && c < self.domains {
+                self.cells[v * self.domains + c] += cycles;
+            }
+        }
+    }
+
+    /// Stalled cycles of `victim` attributed to `culprit`.
+    pub fn cell(&self, victim: u16, culprit: u16) -> u64 {
+        self.cells[victim as usize * self.domains + culprit as usize]
+    }
+
+    /// Total stalled cycles recorded (including culprit-less refresh time).
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Snapshots into the serializable report form.
+    pub fn report(&self) -> InterferenceReport {
+        InterferenceReport {
+            domains: self.domains,
+            total_stall_cycles: self.total,
+            matrix: (0..self.domains)
+                .map(|v| self.cells[v * self.domains..(v + 1) * self.domains].to_vec())
+                .collect(),
+            by_cause: StallCause::ALL
+                .iter()
+                .map(|c| StallCauseCycles {
+                    cause: c.name().to_string(),
+                    cycles: self.by_cause[c.index()],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Stalled cycles accumulated under one [`StallCause`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallCauseCycles {
+    /// The cause's stable name.
+    pub cause: String,
+    /// Stalled cycles charged to it.
+    pub cycles: u64,
+}
+
+/// Serializable snapshot of an [`InterferenceMatrix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceReport {
+    /// Number of domains (matrix is `domains × domains`).
+    pub domains: usize,
+    /// Total stalled cycles including culprit-less refresh time.
+    pub total_stall_cycles: u64,
+    /// `matrix[victim][culprit]` = stalled cycles of `victim` caused by
+    /// `culprit`'s earlier commands.
+    pub matrix: Vec<Vec<u64>>,
+    /// Stalled cycles broken down by cause.
+    pub by_cause: Vec<StallCauseCycles>,
+}
+
+/// One closed window of shaper activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShaperWindow {
+    /// First cycle of the window.
+    pub start_cycle: Cycle,
+    /// Real victim requests forwarded into slots this window.
+    pub real: u64,
+    /// Fake requests fabricated for unmatched slots this window.
+    pub fake: u64,
+    /// Mean private-queue depth sampled at each emission.
+    pub mean_queue_depth: f64,
+    /// Mean slot slack (emission cycle − slot due cycle) in CPU cycles.
+    pub mean_slack: f64,
+}
+
+/// Windowed time series of a shaper's observable behaviour: queue depth,
+/// rDAG slot slack, and real-vs-fake fills. Because the emission *schedule*
+/// is secret-independent, only the real/fake split and queue depth may vary
+/// with the victim — which is exactly what this timeline makes visible.
+///
+/// Windows with no emissions are skipped (the series stays bounded by
+/// emission count, not run length).
+#[derive(Debug, Clone)]
+pub struct ShaperTimeline {
+    domain: u16,
+    window: Cycle,
+    window_start: Cycle,
+    real: u64,
+    fake: u64,
+    depth_sum: u64,
+    slack_sum: u64,
+    windows: Vec<ShaperWindow>,
+}
+
+impl ShaperTimeline {
+    /// Creates a timeline for `domain` with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(domain: u16, window: Cycle) -> Self {
+        assert!(window > 0, "shaper timeline window must be positive");
+        Self {
+            domain,
+            window,
+            window_start: 0,
+            real: 0,
+            fake: 0,
+            depth_sum: 0,
+            slack_sum: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records one slot emission at `now`.
+    pub fn record_emission(&mut self, now: Cycle, queue_depth: usize, slack: Cycle, fake: bool) {
+        if now >= self.window_start + self.window {
+            if self.real + self.fake > 0 {
+                self.windows.push(self.current_window());
+            }
+            // Fast-forward across idle windows without materializing them.
+            self.window_start = now - (now - self.window_start) % self.window;
+            self.real = 0;
+            self.fake = 0;
+            self.depth_sum = 0;
+            self.slack_sum = 0;
+        }
+        if fake {
+            self.fake += 1;
+        } else {
+            self.real += 1;
+        }
+        self.depth_sum += queue_depth as u64;
+        self.slack_sum += slack;
+    }
+
+    fn current_window(&self) -> ShaperWindow {
+        let n = (self.real + self.fake).max(1) as f64;
+        ShaperWindow {
+            start_cycle: self.window_start,
+            real: self.real,
+            fake: self.fake,
+            mean_queue_depth: self.depth_sum as f64 / n,
+            mean_slack: self.slack_sum as f64 / n,
+        }
+    }
+
+    /// Snapshots the timeline, including the trailing partial window.
+    pub fn report(&self) -> ShaperTimelineReport {
+        let mut windows = self.windows.clone();
+        if self.real + self.fake > 0 {
+            windows.push(self.current_window());
+        }
+        ShaperTimelineReport {
+            domain: self.domain,
+            window: self.window,
+            windows,
+        }
+    }
+}
+
+/// Serializable snapshot of a [`ShaperTimeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShaperTimelineReport {
+    /// Protected domain the shaper serves.
+    pub domain: u16,
+    /// Window length in CPU cycles.
+    pub window: Cycle,
+    /// Closed windows plus the trailing partial window, oldest first.
+    pub windows: Vec<ShaperWindow>,
+}
+
+/// One leakage-estimation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakSample {
+    /// First cycle of the window.
+    pub start_cycle: Cycle,
+    /// Attacker observations (probe completions) inside the window.
+    pub observations: u64,
+    /// Bias-corrected mutual information between secret class and observed
+    /// latency, in bits per observation. Slightly negative values are
+    /// finite-sample noise on an independent channel (the correction is
+    /// unbiased, not one-sided); they average out across windows.
+    pub mi_bits: f64,
+    /// The window's estimated channel capacity in bits per second (same
+    /// sign convention as [`mi_bits`](Self::mi_bits)).
+    pub capacity_bits_per_sec: f64,
+}
+
+/// Online estimator of how many bits per second attacker-observable
+/// latencies leak about a victim secret class.
+///
+/// Per window it keeps a joint histogram `counts[class][latency bucket]`,
+/// reduced at window close to the plug-in mutual information with a
+/// Miller–Madow bias correction. Per-window estimates are kept *signed*:
+/// the corrected estimator is roughly unbiased, so on a genuinely
+/// independent channel — e.g. DAGguise-shaped traffic — positive and
+/// negative noise cancels across windows and the reported mean reads ≈ 0.
+/// (Clamping each window at zero instead would turn that noise into a
+/// systematic positive floor.) Only the aggregate mean is clamped at
+/// zero. Capacity scales MI per observation by the observation rate,
+/// matching the bits/s units of `CovertResult::capacity_bits_per_sec`.
+#[derive(Debug, Clone)]
+pub struct LeakEstimator {
+    window: Cycle,
+    clock_hz: f64,
+    bucket_width: Cycle,
+    classes: usize,
+    buckets: usize,
+    window_start: Cycle,
+    counts: Vec<u64>,
+    samples: Vec<LeakSample>,
+}
+
+impl LeakEstimator {
+    /// Creates an estimator over `classes` secret classes, bucketing
+    /// latencies into `buckets` buckets of `bucket_width` cycles (the last
+    /// bucket absorbs the overflow tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        window: Cycle,
+        clock_hz: f64,
+        classes: usize,
+        bucket_width: Cycle,
+        buckets: usize,
+    ) -> Self {
+        assert!(window > 0, "leak window must be positive");
+        assert!(classes > 0 && buckets > 0 && bucket_width > 0);
+        Self {
+            window,
+            clock_hz,
+            bucket_width,
+            classes,
+            buckets,
+            window_start: 0,
+            counts: vec![0; classes * buckets],
+            samples: Vec::new(),
+        }
+    }
+
+    /// Window length in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Records one attacker observation: a probe that completed at `now`
+    /// with the given latency, while the victim secret was `class`.
+    pub fn observe(&mut self, now: Cycle, class: usize, latency: Cycle) {
+        if now >= self.window_start + self.window {
+            self.close_window();
+            self.window_start = now - (now - self.window_start) % self.window;
+        }
+        let b = ((latency / self.bucket_width) as usize).min(self.buckets - 1);
+        self.counts[class.min(self.classes - 1) * self.buckets + b] += 1;
+    }
+
+    /// Flushes the trailing partial window at end-of-run.
+    pub fn finish(&mut self) {
+        self.close_window();
+    }
+
+    fn close_window(&mut self) {
+        let n: u64 = self.counts.iter().sum();
+        if n == 0 {
+            return;
+        }
+        let mi = self.window_mi(n);
+        let capacity = mi * n as f64 * self.clock_hz / self.window as f64;
+        self.samples.push(LeakSample {
+            start_cycle: self.window_start,
+            observations: n,
+            mi_bits: mi,
+            capacity_bits_per_sec: capacity,
+        });
+        self.counts.fill(0);
+    }
+
+    /// Plug-in MI over the current joint histogram, Miller–Madow corrected.
+    /// Signed: see the type-level docs for why windows are not clamped.
+    fn window_mi(&self, n: u64) -> f64 {
+        let nf = n as f64;
+        let mut class_marg = vec![0u64; self.classes];
+        let mut bucket_marg = vec![0u64; self.buckets];
+        for (c, cm) in class_marg.iter_mut().enumerate() {
+            for (b, bm) in bucket_marg.iter_mut().enumerate() {
+                let k = self.counts[c * self.buckets + b];
+                *cm += k;
+                *bm += k;
+            }
+        }
+        let mut mi = 0.0;
+        for (c, &cm) in class_marg.iter().enumerate() {
+            for (b, &bm) in bucket_marg.iter().enumerate() {
+                let k = self.counts[c * self.buckets + b];
+                if k == 0 {
+                    continue;
+                }
+                let p_joint = k as f64 / nf;
+                let p_indep = (cm as f64 / nf) * (bm as f64 / nf);
+                mi += p_joint * (p_joint / p_indep).log2();
+            }
+        }
+        // Miller–Madow: plug-in MI overestimates by ≈ (|C|−1)(|B|−1)/(2N ln2)
+        // over the non-empty marginals.
+        let c_nz = class_marg.iter().filter(|&&k| k > 0).count() as f64;
+        let b_nz = bucket_marg.iter().filter(|&&k| k > 0).count() as f64;
+        let bias =
+            (c_nz - 1.0).max(0.0) * (b_nz - 1.0).max(0.0) / (2.0 * nf * std::f64::consts::LN_2);
+        mi - bias
+    }
+
+    /// Snapshots the capacity-over-time series. The mean is clamped at
+    /// zero (per-window noise is signed; a channel cannot leak negative
+    /// bits), the per-window samples are reported raw.
+    pub fn report(&self) -> LeakReport {
+        LeakReport::from_samples(self.window, self.clock_hz, self.samples.clone())
+    }
+}
+
+/// Serializable capacity-over-time artifact of a [`LeakEstimator`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakReport {
+    /// Estimation window in CPU cycles.
+    pub window: Cycle,
+    /// CPU clock in Hz (converts per-window rates to bits/s).
+    pub clock_hz: f64,
+    /// Mean estimated capacity across windows, in bits/s.
+    pub mean_capacity_bps: f64,
+    /// Peak single-window capacity, in bits/s.
+    pub peak_capacity_bps: f64,
+    /// Per-window samples, oldest first (empty windows omitted).
+    pub samples: Vec<LeakSample>,
+}
+
+impl LeakReport {
+    /// Builds a report from per-window samples: the mean is the signed
+    /// average clamped at zero, the peak the maximum single window (never
+    /// negative).
+    pub fn from_samples(window: Cycle, clock_hz: f64, samples: Vec<LeakSample>) -> Self {
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            (samples.iter().map(|s| s.capacity_bits_per_sec).sum::<f64>() / samples.len() as f64)
+                .max(0.0)
+        };
+        let peak = samples
+            .iter()
+            .map(|s| s.capacity_bits_per_sec)
+            .fold(0.0, f64::max);
+        LeakReport {
+            window,
+            clock_hz,
+            mean_capacity_bps: mean,
+            peak_capacity_bps: peak,
+            samples,
+        }
+    }
+
+    /// Subtracts a permutation-null baseline from this report.
+    ///
+    /// Each null must come from the *same* observation stream, estimated
+    /// with the class labels cyclically rotated (a permutation preserving
+    /// the label marginals but destroying any causal alignment). Whatever
+    /// MI the nulls read is structure-induced spurious correlation —
+    /// periodic latency patterns coinciding with the label sequence — and
+    /// is subtracted window-by-window (samples pair by index; the mean of
+    /// the nulls is used). The result's aggregate mean is re-clamped at
+    /// zero as usual.
+    pub fn subtract_null(&self, nulls: &[LeakReport]) -> LeakReport {
+        if nulls.is_empty() {
+            return self.clone();
+        }
+        let samples = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let paired: Vec<&LeakSample> =
+                    nulls.iter().filter_map(|n| n.samples.get(i)).collect();
+                let k = paired.len().max(1) as f64;
+                LeakSample {
+                    start_cycle: s.start_cycle,
+                    observations: s.observations,
+                    mi_bits: s.mi_bits - paired.iter().map(|p| p.mi_bits).sum::<f64>() / k,
+                    capacity_bits_per_sec: s.capacity_bits_per_sec
+                        - paired.iter().map(|p| p.capacity_bits_per_sec).sum::<f64>() / k,
+                }
+            })
+            .collect();
+        LeakReport::from_samples(self.window, self.clock_hz, samples)
+    }
+
+    /// Merges reports from independent probe repetitions (fresh memory,
+    /// different transmitted messages) into one. Samples are concatenated
+    /// and the aggregate mean recomputed over the *signed* per-window
+    /// values, so finite-sample noise that swings positive in one
+    /// repetition cancels against another instead of accumulating.
+    pub fn merged(reports: &[LeakReport]) -> LeakReport {
+        let (window, clock_hz) = reports
+            .first()
+            .map(|r| (r.window, r.clock_hz))
+            .unwrap_or((1, 0.0));
+        let samples = reports.iter().flat_map(|r| r.samples.clone()).collect();
+        LeakReport::from_samples(window, clock_hz, samples)
+    }
+}
+
+/// Compact per-job leakage summary carried in sweep outputs and merged by
+/// `dg-run` into the leakage leaderboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakSummary {
+    /// Mean estimated capacity across windows, in bits/s.
+    pub mean_capacity_bps: f64,
+    /// Peak single-window capacity, in bits/s.
+    pub peak_capacity_bps: f64,
+    /// Number of non-empty estimation windows.
+    pub windows: u64,
+    /// Covert-channel decode error rate of the probe run.
+    pub error_rate: f64,
+    /// Raw covert-channel rate in bits/s (the capacity's upper bound).
+    pub raw_bits_per_sec: f64,
+}
+
+impl LeakSummary {
+    /// Builds a summary from a probe's capacity-over-time report plus the
+    /// covert decode quality figures.
+    pub fn from_report(report: &LeakReport, error_rate: f64, raw_bits_per_sec: f64) -> Self {
+        Self {
+            mean_capacity_bps: report.mean_capacity_bps,
+            peak_capacity_bps: report.peak_capacity_bps,
+            windows: report.samples.len() as u64,
+            error_rate,
+            raw_bits_per_sec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_charges_and_reports() {
+        let mut m = InterferenceMatrix::new(3);
+        m.charge(0, Some(1), StallCause::BankBusy, 6);
+        m.charge(0, Some(1), StallCause::BusConflict, 3);
+        m.charge(1, Some(1), StallCause::QueueWait, 2);
+        m.charge(0, None, StallCause::Refresh, 5);
+        m.charge(0, Some(9), StallCause::BankBusy, 4); // out of range: total only
+        assert_eq!(m.cell(0, 1), 9);
+        assert_eq!(m.cell(1, 1), 2);
+        assert_eq!(m.cell(0, 0), 0);
+        assert_eq!(m.total_stall_cycles(), 20);
+        let r = m.report();
+        assert_eq!(r.matrix[0][1], 9);
+        assert_eq!(r.by_cause.len(), STALL_CAUSES);
+        let refresh = r.by_cause.iter().find(|c| c.cause == "refresh").unwrap();
+        assert_eq!(refresh.cycles, 5);
+        // Serde round trip (report is part of RunReport).
+        let json = serde_json::to_string(&r).unwrap();
+        let back: InterferenceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shaper_timeline_windows_and_trailing_partial() {
+        let mut t = ShaperTimeline::new(0, 100);
+        t.record_emission(10, 2, 5, false);
+        t.record_emission(50, 4, 15, true);
+        // Next window.
+        t.record_emission(120, 0, 0, true);
+        let r = t.report();
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].start_cycle, 0);
+        assert_eq!(r.windows[0].real, 1);
+        assert_eq!(r.windows[0].fake, 1);
+        assert!((r.windows[0].mean_queue_depth - 3.0).abs() < 1e-12);
+        assert!((r.windows[0].mean_slack - 10.0).abs() < 1e-12);
+        // Trailing partial window is included in the report.
+        assert_eq!(r.windows[1].start_cycle, 100);
+        assert_eq!(r.windows[1].fake, 1);
+    }
+
+    #[test]
+    fn shaper_timeline_skips_idle_windows() {
+        let mut t = ShaperTimeline::new(0, 100);
+        t.record_emission(10, 0, 0, true);
+        t.record_emission(1010, 0, 0, true); // 9 idle windows in between
+        let r = t.report();
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[1].start_cycle, 1000);
+    }
+
+    #[test]
+    fn estimator_detects_perfect_dependence() {
+        // Class 0 always observes fast probes, class 1 always slow ones:
+        // one full bit per observation.
+        let mut e = LeakEstimator::new(1_000, 1e9, 2, 10, 16);
+        for i in 0..500u64 {
+            e.observe(i, 0, 5);
+            e.observe(i, 1, 95);
+        }
+        e.finish();
+        let r = e.report();
+        assert_eq!(r.samples.len(), 1);
+        assert_eq!(r.samples[0].observations, 1000);
+        assert!(
+            r.samples[0].mi_bits > 0.9,
+            "perfectly dependent channel: {}",
+            r.samples[0].mi_bits
+        );
+        // 1000 obs / 1000 cycles at 1 GHz ≈ 1e9 obs/s × ~1 bit.
+        assert!(r.mean_capacity_bps > 0.9e9);
+        assert_eq!(r.peak_capacity_bps, r.samples[0].capacity_bits_per_sec);
+    }
+
+    #[test]
+    fn estimator_reads_independent_channel_as_zero() {
+        // Latency depends only on observation parity, never on the class
+        // (each class sees each latency equally often).
+        let mut e = LeakEstimator::new(1_000, 1e9, 2, 10, 16);
+        for i in 0..2000u64 {
+            let class = (i / 2 % 2) as usize;
+            let latency = if i % 2 == 0 { 20 } else { 80 };
+            e.observe(i / 2, class, latency);
+        }
+        e.finish();
+        let r = e.report();
+        assert!(!r.samples.is_empty());
+        assert!(
+            r.mean_capacity_bps < 0.02 * 1e9,
+            "independent channel must read near zero: {}",
+            r.mean_capacity_bps
+        );
+    }
+
+    #[test]
+    fn estimator_rolls_windows_and_flushes_tail() {
+        let mut e = LeakEstimator::new(100, 1e6, 2, 10, 8);
+        e.observe(10, 0, 5);
+        e.observe(150, 1, 75);
+        // No finish yet: only the first window is closed.
+        assert_eq!(e.report().samples.len(), 1);
+        e.finish();
+        let r = e.report();
+        assert_eq!(r.samples.len(), 2);
+        assert_eq!(r.samples[0].start_cycle, 0);
+        assert_eq!(r.samples[1].start_cycle, 100);
+        assert_eq!(r.samples[1].observations, 1);
+        // A lone observation carries no information.
+        assert_eq!(r.samples[1].mi_bits, 0.0);
+    }
+
+    fn sample(start: Cycle, cap: f64) -> LeakSample {
+        LeakSample {
+            start_cycle: start,
+            observations: 10,
+            mi_bits: cap / 1e9,
+            capacity_bits_per_sec: cap,
+        }
+    }
+
+    #[test]
+    fn subtract_null_cancels_structural_bias() {
+        let obs = LeakReport::from_samples(100, 1e9, vec![sample(0, 500.0), sample(100, 300.0)]);
+        let n1 = LeakReport::from_samples(100, 1e9, vec![sample(0, 400.0), sample(100, 200.0)]);
+        let n2 = LeakReport::from_samples(100, 1e9, vec![sample(0, 600.0), sample(100, 400.0)]);
+        let corrected = obs.subtract_null(&[n1, n2]);
+        // Null mean equals the observed value in both windows → zero left.
+        assert_eq!(corrected.samples[0].capacity_bits_per_sec, 0.0);
+        assert_eq!(corrected.samples[1].capacity_bits_per_sec, 0.0);
+        assert_eq!(corrected.mean_capacity_bps, 0.0);
+        // Empty null list is the identity.
+        assert_eq!(obs.subtract_null(&[]), obs);
+    }
+
+    #[test]
+    fn merged_averages_signed_windows_across_reps() {
+        let a = LeakReport::from_samples(100, 1e9, vec![sample(0, 80.0)]);
+        let b = LeakReport::from_samples(100, 1e9, vec![sample(0, -60.0)]);
+        let m = LeakReport::merged(&[a.clone(), b]);
+        assert_eq!(m.samples.len(), 2);
+        assert!((m.mean_capacity_bps - 10.0).abs() < 1e-9);
+        assert_eq!(m.peak_capacity_bps, 80.0);
+        // A rep whose own clamped mean is 0 still pulls the merged mean
+        // down: merging uses signed samples, not per-rep means.
+        let c = LeakReport::from_samples(100, 1e9, vec![sample(0, -200.0)]);
+        assert_eq!(c.mean_capacity_bps, 0.0);
+        let m2 = LeakReport::merged(&[a, c]);
+        assert_eq!(m2.mean_capacity_bps, 0.0);
+    }
+
+    #[test]
+    fn leak_summary_round_trips() {
+        let s = LeakSummary {
+            mean_capacity_bps: 1234.5,
+            peak_capacity_bps: 9999.0,
+            windows: 7,
+            error_rate: 0.125,
+            raw_bits_per_sec: 1.2e6,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LeakSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

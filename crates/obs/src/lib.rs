@@ -17,6 +17,11 @@
 //!   run (per-core IPC, per-domain traffic and latency histograms, shaper
 //!   conformance, DRAM energy) plus the [`IntervalSampler`] time series
 //!   into one serializable artifact.
+//! * **Security observability (`dg-leak`)** — the [`leak`] module's
+//!   [`InterferenceMatrix`] attributes every stalled cycle to the domain
+//!   that caused it, [`ShaperTimeline`] records windowed shaper behaviour,
+//!   and [`LeakEstimator`] turns attacker-observable latencies into a
+//!   channel-capacity-over-time estimate.
 //! * **Sweep progress** — a [`ProgressMeter`] shared by the workers of an
 //!   experiment sweep (`dg-runner`) counts completions, retries and
 //!   failures, reports live throughput, and snapshots into a
@@ -28,6 +33,7 @@
 pub mod chrome;
 pub mod event;
 pub mod interval;
+pub mod leak;
 pub mod progress;
 pub mod report;
 pub mod tracer;
@@ -35,9 +41,13 @@ pub mod tracer;
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use event::{BankCmd, Event, EventKind};
 pub use interval::{IntervalSample, IntervalSampler};
+pub use leak::{
+    InterferenceMatrix, InterferenceReport, LeakEstimator, LeakReport, LeakSample, LeakSummary,
+    ShaperTimeline, ShaperTimelineReport, ShaperWindow, StallCause, StallCauseCycles,
+};
 pub use progress::{ProgressMeter, SweepProgress};
 pub use report::{
-    CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot, RunMeta, RunReport,
-    ShaperReport, TraceSummary,
+    BankReport, CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot, RunMeta,
+    RunReport, ShaperReport, TraceSummary,
 };
 pub use tracer::{RingBuffer, Tracer};

@@ -19,7 +19,7 @@ use std::time::Instant;
 /// Only deterministic fields (`total`, `succeeded`, `failed`, `skipped`,
 /// `retries`) belong in canonical reports; `elapsed_ms` and
 /// `jobs_per_sec` are measurement noise and are kept separate by callers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SweepProgress {
     /// Jobs the sweep set out to run (including journal-skipped ones).
     pub total: u64,

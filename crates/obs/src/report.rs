@@ -10,6 +10,7 @@
 //! [`IntervalSampler`](crate::interval::IntervalSampler).
 
 use crate::interval::IntervalSample;
+use crate::leak::{InterferenceReport, ShaperTimelineReport};
 use dg_dram::power::{EnergyCounter, PowerParams};
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +133,23 @@ impl EnergyReport {
     }
 }
 
+/// Per-bank activity counters surfaced from the memory controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankReport {
+    /// The bank index.
+    pub bank: u32,
+    /// ACT commands issued to the bank.
+    pub acts: u64,
+    /// Column accesses that hit the already-open row.
+    pub row_hits: u64,
+    /// Column accesses that required an activation first.
+    pub row_misses: u64,
+    /// Precharge operations (explicit PRE plus auto-precharge).
+    pub precharges: u64,
+    /// Cycles an ACT to this bank stalled on the tFAW four-activate window.
+    pub faw_stall_cycles: u64,
+}
+
 /// Memory-controller / DRAM level counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DramReport {
@@ -164,8 +182,16 @@ pub struct RunReport {
     pub domains: Vec<DomainReport>,
     /// One entry per request shaper (empty for unshaped memory kinds).
     pub shapers: Vec<ShaperReport>,
+    /// Windowed shaper telemetry (empty unless timelines were enabled).
+    pub shaper_timelines: Vec<ShaperTimelineReport>,
     /// Controller/DRAM counters and energy.
     pub dram: DramReport,
+    /// Per-bank row-hit/miss/precharge/tFAW-stall counters (empty for
+    /// memory paths that do not expose bank state).
+    pub banks: Vec<BankReport>,
+    /// Who-delayed-whom contention attribution (absent for memory paths
+    /// without a stall-attributing controller).
+    pub interference: Option<InterferenceReport>,
     /// Interval time series window size in cycles (0 when sampling was off).
     pub interval_window: u64,
     /// Interval samples (empty when sampling was off).
@@ -226,6 +252,17 @@ mod tests {
                 fake_fraction: 30.0 / 130.0,
                 mean_delay: Some(12.0),
             }],
+            shaper_timelines: vec![ShaperTimelineReport {
+                domain: 0,
+                window: 1_000,
+                windows: vec![crate::leak::ShaperWindow {
+                    start_cycle: 0,
+                    real: 4,
+                    fake: 6,
+                    mean_queue_depth: 1.5,
+                    mean_slack: 3.0,
+                }],
+            }],
             dram: DramReport {
                 refreshes: 4,
                 dropped_responses: 0,
@@ -239,6 +276,23 @@ mod tests {
                     fake_overhead: 0.1,
                 },
             },
+            banks: vec![BankReport {
+                bank: 0,
+                acts: 110,
+                row_hits: 40,
+                row_misses: 80,
+                precharges: 109,
+                faw_stall_cycles: 12,
+            }],
+            interference: Some(InterferenceReport {
+                domains: 2,
+                total_stall_cycles: 500,
+                matrix: vec![vec![10, 200], vec![250, 40]],
+                by_cause: vec![crate::leak::StallCauseCycles {
+                    cause: "bank_busy".to_string(),
+                    cycles: 500,
+                }],
+            }),
             interval_window: 1_000,
             intervals: vec![IntervalSample {
                 start_cycle: 0,
@@ -272,6 +326,11 @@ mod tests {
             "\"intervals\"",
             "\"latency_hist\"",
             "\"fake_fraction\"",
+            "\"banks\"",
+            "\"interference\"",
+            "\"shaper_timelines\"",
+            "\"row_hits\"",
+            "\"faw_stall_cycles\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

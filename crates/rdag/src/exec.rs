@@ -162,6 +162,16 @@ impl RdagExecutor {
         };
     }
 
+    /// Cycle at which sequence `seq`'s next request became due, or `None`
+    /// while a request is in flight. Telemetry uses this to measure slot
+    /// slack (how long a demand waited before the shaper filled it).
+    pub fn due_at(&self, seq: usize) -> Option<Cycle> {
+        match self.seqs[seq].state {
+            SeqState::Ready { at } => Some(at),
+            SeqState::WaitingResponse => None,
+        }
+    }
+
     /// True when any sequence has a request in flight.
     pub fn in_flight(&self) -> bool {
         self.seqs

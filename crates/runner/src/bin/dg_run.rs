@@ -3,16 +3,21 @@
 //! ```text
 //! dg-run spec.toml [--jobs N] [--journal PATH] [--resume PATH]
 //!                  [--retries N] [--backoff-ms N] [--escalation N]
-//!                  [--timeout-s N] [--out PATH] [--print-jobs] [--quiet]
+//!                  [--timeout-s N] [--out PATH] [--leak PATH]
+//!                  [--print-jobs] [--quiet]
 //! ```
 //!
 //! Exits nonzero if any job fails, printing the failing job ids with
 //! their errors. The merged report (`--out`, default
 //! `results/<name>.json`) contains only deterministic fields and is
 //! byte-identical for any `--jobs` value and across kill/`--resume`
-//! cycles. See EXPERIMENTS.md for the spec format.
+//! cycles. `--leak PATH` forces the covert-channel leakage probe on for
+//! every job, writes the merged leakage artifact to PATH, and prints the
+//! defense leaderboard. See EXPERIMENTS.md for the spec format.
 
-use dg_runner::{effective_jobs, ExperimentSpec, RunnerConfig};
+use dg_runner::{
+    effective_jobs, leak_leaderboard, leak_report_json, leak_table, ExperimentSpec, RunnerConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -21,6 +26,7 @@ struct Args {
     spec: PathBuf,
     cfg: RunnerConfig,
     out: Option<PathBuf>,
+    leak: Option<PathBuf>,
     print_jobs: bool,
 }
 
@@ -28,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dg-run <spec.toml|spec.json> [--jobs N] [--journal PATH] [--resume PATH]\n\
          \x20              [--retries N] [--backoff-ms N] [--escalation N] [--timeout-s N]\n\
-         \x20              [--out PATH] [--print-jobs] [--quiet]"
+         \x20              [--out PATH] [--leak PATH] [--print-jobs] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -38,6 +44,7 @@ fn parse_args() -> Args {
     let mut cfg = RunnerConfig::default();
     let mut jobs_flag = None;
     let mut out = None;
+    let mut leak = None;
     let mut print_jobs = false;
 
     let mut it = std::env::args().skip(1);
@@ -75,6 +82,7 @@ fn parse_args() -> Args {
                 Err(_) => usage(),
             },
             "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--leak" => leak = Some(PathBuf::from(value("--leak"))),
             "--print-jobs" => print_jobs = true,
             "--quiet" => cfg.verbose = false,
             "--help" | "-h" => usage(),
@@ -92,6 +100,7 @@ fn parse_args() -> Args {
         spec: spec.unwrap_or_else(|| usage()),
         cfg,
         out,
+        leak,
         print_jobs,
     }
 }
@@ -99,13 +108,16 @@ fn parse_args() -> Args {
 fn main() -> ExitCode {
     let args = parse_args();
 
-    let spec = match ExperimentSpec::load(&args.spec) {
+    let mut spec = match ExperimentSpec::load(&args.spec) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if args.leak.is_some() {
+        spec.leak = true;
+    }
 
     if args.print_jobs {
         for job in spec.expand() {
@@ -153,6 +165,24 @@ fn main() -> ExitCode {
             outcome.progress.retries,
             outcome.progress.jobs_per_sec
         );
+    }
+
+    if let Some(leak_path) = &args.leak {
+        if let Some(dir) = leak_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let leak_json = leak_report_json(&spec.name, &outcome);
+        if let Err(e) = std::fs::write(leak_path, &leak_json) {
+            eprintln!("error: writing {}: {e}", leak_path.display());
+            return ExitCode::from(2);
+        }
+        print!("{}", leak_table(&leak_leaderboard(&outcome)));
+        if args.cfg.verbose {
+            eprintln!("dg-run: wrote leakage report {}", leak_path.display());
+        }
     }
 
     if outcome.report_failures() {

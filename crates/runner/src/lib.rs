@@ -26,6 +26,7 @@
 
 pub mod job;
 pub mod journal;
+pub mod leak;
 pub mod material;
 pub mod pool;
 pub mod runner;
@@ -35,6 +36,7 @@ pub mod toml;
 
 pub use job::{attempt_budget, job_seed, JobCtx, JobDesc, JobRecord};
 pub use journal::{replay_journal, JournalEntry, JournalReplay, JournalWriter};
+pub use leak::{leak_leaderboard, leak_report_json, leak_table, LeakRow};
 pub use pool::{effective_jobs, run_work_stealing};
 pub use runner::{run_sweep, RunnerConfig, SweepOutcome};
 pub use scale::Scale;

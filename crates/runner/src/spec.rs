@@ -11,11 +11,16 @@ use crate::material::{dna_defense, dna_trace, docdist_defense, docdist_trace, sp
 use crate::runner::{run_sweep, RunnerConfig, SweepOutcome};
 use crate::scale::Scale;
 use crate::toml::parse_toml;
+use dg_attacks::{run_covert_channel_estimated, CovertConfig};
 use dg_defenses::IntervalDistribution;
+use dg_obs::LeakSummary;
 use dg_rdag::template::RdagTemplate;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
-use dg_system::{run_colocation, run_colocation_supervised, ColocationResult, MemoryKind};
+use dg_sim::types::DomainId;
+use dg_system::{
+    build_memory, run_colocation, run_colocation_supervised, ColocationResult, MemoryKind,
+};
 use dg_workloads::SpecPreset;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
@@ -132,6 +137,9 @@ pub struct ExperimentSpec {
     pub grid: GridSpec,
     /// Per-job budget overrides.
     pub overrides: Vec<OverrideSpec>,
+    /// Whether each job also runs the covert-channel leakage probe
+    /// (spec key `leak = true`, or forced by `dg-run --leak`).
+    pub leak: bool,
 }
 
 fn opt<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -217,6 +225,11 @@ impl Deserialize for ExperimentSpec {
             }
         }
 
+        let leak = match opt(m, "leak") {
+            Some(v) => bool::from_value(v)?,
+            None => false,
+        };
+
         let spec = ExperimentSpec {
             name,
             scale,
@@ -227,6 +240,7 @@ impl Deserialize for ExperimentSpec {
                 seeds,
             },
             overrides,
+            leak,
         };
         spec.validate().map_err(DeError::custom)?;
         Ok(spec)
@@ -330,6 +344,7 @@ impl ExperimentSpec {
                             corunner: corunner.clone(),
                             defense: defense.clone(),
                             scale,
+                            leak: self.leak,
                         });
                     }
                 }
@@ -363,6 +378,9 @@ pub struct ColocationJob {
     pub defense: String,
     /// Scale (with any per-job budget override already applied).
     pub scale: Scale,
+    /// Whether to run the covert-channel leakage probe after the
+    /// performance run.
+    pub leak: bool,
 }
 
 impl JobDesc for ColocationJob {
@@ -373,6 +391,63 @@ impl JobDesc for ColocationJob {
 
 /// Cycles per supervision slice when a wall-clock timeout is active.
 const SUPERVISION_CHUNK: u64 = 2_000_000;
+
+/// Salt separating the leakage probe's RNG stream from the job's.
+const LEAK_PROBE_SALT: u64 = 0x6c65_616b_2d70_7262; // "leak-prb"
+
+/// Leakage-estimator window in CPU cycles (4 covert epochs).
+const LEAK_WINDOW: u64 = 8_000;
+
+/// Independent probe repetitions per job. Each repetition transmits a
+/// different pseudo-random message through a fresh memory instance; the
+/// signed per-window estimates are merged across repetitions so the
+/// finite-sample noise floor shrinks ∝ 1/√reps while a real channel's
+/// capacity is unaffected.
+const LEAK_PROBE_REPS: u64 = 8;
+
+/// Covert probe configuration for sweep-level leakage measurement: small
+/// enough to add negligible time per job, long enough for the estimator
+/// to see several windows.
+fn leak_probe_config() -> CovertConfig {
+    CovertConfig {
+        epoch: 2_000,
+        bits: 64,
+        sender_gap: 6,
+        probe_gap: 50,
+    }
+}
+
+/// Runs the covert-channel leakage probe for a job's defense: a sender on
+/// domain 0 and a receiver on domain 1 drive the *same memory path* the
+/// job's colocation run used (fresh instance, no cores), and the online
+/// [`LeakEstimator`](dg_obs::LeakEstimator) reduces the receiver's latency
+/// histograms to a channel-capacity summary. [`LEAK_PROBE_REPS`]
+/// repetitions with distinct messages are merged (signed windows, see
+/// [`LeakReport::merged`](dg_obs::LeakReport::merged)); the quoted decode
+/// error rate is the mean across repetitions.
+fn run_leak_probe(cfg: &SystemConfig, kind: &MemoryKind, seed: u64) -> LeakSummary {
+    let probe = leak_probe_config();
+    let mut reports = Vec::new();
+    let mut error_sum = 0.0;
+    let mut raw = 0.0;
+    for rep in 0..LEAK_PROBE_REPS {
+        let mut mem = build_memory(cfg, kind.clone(), 2);
+        let (covert, report) = run_covert_channel_estimated(
+            mem.as_mut(),
+            DomainId(0),
+            DomainId(1),
+            &probe,
+            cfg.core.clock_hz,
+            (seed ^ LEAK_PROBE_SALT).wrapping_add(rep.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            LEAK_WINDOW,
+        );
+        error_sum += covert.error_rate;
+        raw = covert.raw_bits_per_sec;
+        reports.push(report);
+    }
+    let merged = dg_obs::LeakReport::merged(&reports);
+    LeakSummary::from_report(&merged, error_sum / LEAK_PROBE_REPS as f64, raw)
+}
 
 /// Executes one grid point. All randomness comes from `ctx.seed` (a pure
 /// function of the job id) and all work is bounded by the escalated cycle
@@ -389,18 +464,22 @@ pub fn execute_job(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult
     let kind = memory_kind(&job.defense, job.victim)
         .ok_or_else(|| SimError::InvalidConfig(format!("unknown defense `{}`", job.defense)))?;
     let budget = ctx.budget(job.scale.budget);
-    if ctx.deadline.is_some() {
+    let mut result = if ctx.deadline.is_some() {
         run_colocation_supervised(
             &cfg,
             vec![victim, corunner],
-            kind,
+            kind.clone(),
             budget,
             SUPERVISION_CHUNK,
             &mut || ctx.expired(),
         )
     } else {
-        run_colocation(&cfg, vec![victim, corunner], kind, budget)
+        run_colocation(&cfg, vec![victim, corunner], kind.clone(), budget)
+    }?;
+    if job.leak {
+        result.leakage = Some(run_leak_probe(&cfg, &kind, ctx.seed));
     }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -476,6 +555,18 @@ budget = 1234
         assert_eq!(spec.grid.victims, vec!["docdist"]);
         assert_eq!(spec.grid.seeds, vec![0]);
         assert_eq!(spec.expand().len(), 1);
+    }
+
+    #[test]
+    fn leak_key_propagates_to_jobs() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        assert!(!spec.leak);
+        assert!(spec.expand().iter().all(|j| !j.leak));
+
+        let with_leak = format!("leak = true\n{SPEC}");
+        let spec = ExperimentSpec::from_toml_str(&with_leak).unwrap();
+        assert!(spec.leak);
+        assert!(spec.expand().iter().all(|j| j.leak));
     }
 
     #[test]

@@ -119,78 +119,104 @@ impl SystemBuilder {
         let mut cfg = self.cfg;
         cfg.cores = domains;
         let label = self.kind.label();
-
-        let mem: Box<dyn MemorySubsystem> = match self.kind {
-            MemoryKind::Insecure => {
-                cfg.row_policy = RowPolicy::Open;
-                Box::new(MemoryController::new(&cfg, SchedPolicy::FrFcfs))
-            }
-            MemoryKind::Dagguise { protected } => {
-                assert_eq!(
-                    protected.len(),
-                    domains,
-                    "one defense entry per core required"
-                );
-                // Row-buffer state must be hidden: closed-row policy (§6.1).
-                cfg.row_policy = RowPolicy::Closed;
-                let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
-                let shapers: Vec<Box<dyn DomainShaper>> = protected
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, t)| -> Box<dyn DomainShaper> {
-                        let d = DomainId(i as u16);
-                        match t {
-                            Some(template) => {
-                                Box::new(Shaper::new(ShaperConfig::from_system(d, template, &cfg)))
-                            }
-                            None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
-                        }
-                    })
-                    .collect();
-                Box::new(ShapedMemory::new(mc, shapers))
-            }
-            MemoryKind::FixedService => {
-                let fs_cfg = FsConfig::fixed_service(&cfg, domains);
-                Box::new(FixedService::new(&cfg, fs_cfg))
-            }
-            MemoryKind::FsBta => {
-                let fs_cfg = FsConfig::fs_bta(&cfg, domains);
-                Box::new(FixedService::new(&cfg, fs_cfg))
-            }
-            MemoryKind::FsSpatial => {
-                let fs_cfg = FsSpatialConfig::new(&cfg, domains);
-                Box::new(FsSpatial::new(&cfg, fs_cfg))
-            }
-            MemoryKind::TemporalPartition { slots_per_period } => {
-                let tp_cfg = TpConfig::new(&cfg, domains, slots_per_period);
-                Box::new(TemporalPartition::new(&cfg, tp_cfg))
-            }
-            MemoryKind::Camouflage { protected } => {
-                assert_eq!(
-                    protected.len(),
-                    domains,
-                    "one distribution entry per core required"
-                );
-                cfg.row_policy = RowPolicy::Closed;
-                let mc = MemoryController::new(&cfg, SchedPolicy::FrFcfs);
-                let shapers: Vec<Box<dyn DomainShaper>> = protected
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, dist)| -> Box<dyn DomainShaper> {
-                        let d = DomainId(i as u16);
-                        match dist {
-                            Some(dist) => {
-                                Box::new(CamouflageShaper::new(d, dist, &cfg, 0xCA30 ^ i as u64))
-                            }
-                            None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
-                        }
-                    })
-                    .collect();
-                Box::new(ShapedMemory::new(mc, shapers))
-            }
-        };
-
+        let mem = build_memory_into(&mut cfg, self.kind, domains);
         System::new(cfg, self.cores, mem, label)
+    }
+}
+
+/// Builds just the memory path for `domains` security domains, applying the
+/// same row-policy discipline as [`SystemBuilder::build`]. Used by leakage
+/// probes and attack harnesses that drive the memory subsystem directly,
+/// without cores.
+///
+/// # Panics
+///
+/// Panics if a per-domain defense list does not match `domains`.
+pub fn build_memory(
+    cfg: &SystemConfig,
+    kind: MemoryKind,
+    domains: usize,
+) -> Box<dyn MemorySubsystem> {
+    let mut cfg = cfg.clone();
+    cfg.cores = domains;
+    build_memory_into(&mut cfg, kind, domains)
+}
+
+/// Shared memory-path assembly; mutates `cfg` (row policy) so the caller's
+/// [`System`] sees the policy the memory path actually runs.
+fn build_memory_into(
+    cfg: &mut SystemConfig,
+    kind: MemoryKind,
+    domains: usize,
+) -> Box<dyn MemorySubsystem> {
+    match kind {
+        MemoryKind::Insecure => {
+            cfg.row_policy = RowPolicy::Open;
+            Box::new(MemoryController::new(cfg, SchedPolicy::FrFcfs))
+        }
+        MemoryKind::Dagguise { protected } => {
+            assert_eq!(
+                protected.len(),
+                domains,
+                "one defense entry per core required"
+            );
+            // Row-buffer state must be hidden: closed-row policy (§6.1).
+            cfg.row_policy = RowPolicy::Closed;
+            let mc = MemoryController::new(cfg, SchedPolicy::FrFcfs);
+            let shapers: Vec<Box<dyn DomainShaper>> = protected
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| -> Box<dyn DomainShaper> {
+                    let d = DomainId(i as u16);
+                    match t {
+                        Some(template) => {
+                            Box::new(Shaper::new(ShaperConfig::from_system(d, template, cfg)))
+                        }
+                        None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
+                    }
+                })
+                .collect();
+            Box::new(ShapedMemory::new(mc, shapers))
+        }
+        MemoryKind::FixedService => {
+            let fs_cfg = FsConfig::fixed_service(cfg, domains);
+            Box::new(FixedService::new(cfg, fs_cfg))
+        }
+        MemoryKind::FsBta => {
+            let fs_cfg = FsConfig::fs_bta(cfg, domains);
+            Box::new(FixedService::new(cfg, fs_cfg))
+        }
+        MemoryKind::FsSpatial => {
+            let fs_cfg = FsSpatialConfig::new(cfg, domains);
+            Box::new(FsSpatial::new(cfg, fs_cfg))
+        }
+        MemoryKind::TemporalPartition { slots_per_period } => {
+            let tp_cfg = TpConfig::new(cfg, domains, slots_per_period);
+            Box::new(TemporalPartition::new(cfg, tp_cfg))
+        }
+        MemoryKind::Camouflage { protected } => {
+            assert_eq!(
+                protected.len(),
+                domains,
+                "one distribution entry per core required"
+            );
+            cfg.row_policy = RowPolicy::Closed;
+            let mc = MemoryController::new(cfg, SchedPolicy::FrFcfs);
+            let shapers: Vec<Box<dyn DomainShaper>> = protected
+                .into_iter()
+                .enumerate()
+                .map(|(i, dist)| -> Box<dyn DomainShaper> {
+                    let d = DomainId(i as u16);
+                    match dist {
+                        Some(dist) => {
+                            Box::new(CamouflageShaper::new(d, dist, cfg, 0xCA30 ^ i as u64))
+                        }
+                        None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
+                    }
+                })
+                .collect();
+            Box::new(ShapedMemory::new(mc, shapers))
+        }
     }
 }
 

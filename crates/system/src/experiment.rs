@@ -1,7 +1,7 @@
 //! Co-location experiment runner (Figures 9 and 10).
 
 use dg_cpu::MemTrace;
-use dg_obs::{Event, RunReport, Tracer};
+use dg_obs::{Event, LeakSummary, RunReport, Tracer};
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
@@ -33,6 +33,9 @@ pub struct ColocationResult {
     pub bandwidth_gbps: Vec<f64>,
     /// Total cycles simulated.
     pub total_cycles: Cycle,
+    /// Covert-channel leakage summary, filled in by harnesses that run a
+    /// leakage probe alongside the performance run (`None` otherwise).
+    pub leakage: Option<LeakSummary>,
 }
 
 impl ColocationResult {
@@ -76,6 +79,8 @@ pub struct ObsConfig {
     pub trace_capacity: Option<usize>,
     /// Interval sampling window in CPU cycles (`None` = sampling off).
     pub interval_window: Option<Cycle>,
+    /// Shaper telemetry window in CPU cycles (`None` = timelines off).
+    pub shaper_timeline_window: Option<Cycle>,
 }
 
 /// [`run_colocation`] with observability: optionally records an event trace
@@ -165,6 +170,9 @@ fn build_system(
     if let Some(window) = obs.interval_window {
         sys.enable_interval_sampling(window);
     }
+    if let Some(window) = obs.shaper_timeline_window {
+        sys.enable_shaper_timelines(window);
+    }
     (sys, n)
 }
 
@@ -197,6 +205,7 @@ fn collect_results(
         cores,
         bandwidth_gbps,
         total_cycles: end,
+        leakage: None,
     }
 }
 

@@ -5,8 +5,8 @@ use dg_cpu::Core;
 use dg_dram::power::PowerParams;
 use dg_mem::MemorySubsystem;
 use dg_obs::{
-    CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot, IntervalSampler,
-    RunMeta, RunReport, TraceSummary, Tracer,
+    BankReport, CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot,
+    IntervalSampler, RunMeta, RunReport, TraceSummary, Tracer,
 };
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
@@ -108,6 +108,39 @@ impl System {
         ));
     }
 
+    /// Enables windowed shaper telemetry (queue depth, slack, real/fake
+    /// fills) on any shapers in the memory path. A no-op for unshaped
+    /// memory kinds.
+    pub fn enable_shaper_timelines(&mut self, window: Cycle) {
+        self.mem.enable_shaper_timelines(window);
+    }
+
+    /// Feeds the interval sampler the current cumulative counters.
+    fn sampler_inputs(&self) -> (Vec<u64>, Vec<u64>) {
+        let instructions = self
+            .cores
+            .iter()
+            .map(|c| c.instructions_retired())
+            .collect();
+        let stats = self.mem.stats();
+        let bytes = (0..self.cores.len())
+            .map(|i| stats.domains()[i].bandwidth.bytes())
+            .collect();
+        (instructions, bytes)
+    }
+
+    /// Flushes the trailing partial interval window at end-of-run so the
+    /// time series covers the whole measurement interval.
+    fn flush_sampler(&mut self) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let (instructions, bytes) = self.sampler_inputs();
+        if let Some(s) = &mut self.sampler {
+            s.flush(self.now, &instructions, &bytes);
+        }
+    }
+
     /// Advances the whole system one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.now;
@@ -124,15 +157,7 @@ impl System {
         }
         self.now += 1;
         if self.sampler.as_ref().is_some_and(|s| s.due(self.now)) {
-            let instructions: Vec<u64> = self
-                .cores
-                .iter()
-                .map(|c| c.instructions_retired())
-                .collect();
-            let stats = self.mem.stats();
-            let bytes: Vec<u64> = (0..self.cores.len())
-                .map(|i| stats.domains()[i].bandwidth.bytes())
-                .collect();
+            let (instructions, bytes) = self.sampler_inputs();
             self.sampler
                 .as_mut()
                 .expect("checked above")
@@ -150,6 +175,7 @@ impl System {
         while self.now - start < budget {
             if self.cores.iter().all(|c| c.finished()) {
                 self.mem.stats_mut().set_cycles(self.now);
+                self.flush_sampler();
                 return Ok(self.now);
             }
             self.tick();
@@ -172,6 +198,7 @@ impl System {
         while self.now - start < budget {
             if self.cores[domain].finished() {
                 self.mem.stats_mut().set_cycles(self.now);
+                self.flush_sampler();
                 return Ok(self.cores[domain].finished_at().expect("finished"));
             }
             self.tick();
@@ -185,6 +212,7 @@ impl System {
             self.tick();
         }
         self.mem.stats_mut().set_cycles(self.now);
+        self.flush_sampler();
     }
 
     /// IPC of core `i` as of now.
@@ -260,11 +288,26 @@ impl System {
             cores,
             domains,
             shapers: self.mem.shaper_reports(),
+            shaper_timelines: self.mem.shaper_timelines(),
             dram: DramReport {
                 refreshes: stats.refreshes,
                 dropped_responses: stats.dropped,
                 energy: EnergyReport::from_counter(&stats.energy, &PowerParams::default()),
             },
+            banks: stats
+                .banks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| BankReport {
+                    bank: i as u32,
+                    acts: b.acts,
+                    row_hits: b.row_hits,
+                    row_misses: b.row_misses,
+                    precharges: b.precharges,
+                    faw_stall_cycles: b.faw_stall_cycles,
+                })
+                .collect(),
+            interference: self.mem.interference(),
             interval_window: self.sampler.as_ref().map_or(0, |s| s.window()),
             intervals: self
                 .sampler

@@ -21,6 +21,7 @@ fn observed_run() -> (Vec<dg_obs::Event>, dg_obs::RunReport) {
     let obs = ObsConfig {
         trace_capacity: Some(16_384),
         interval_window: Some(5_000),
+        shaper_timeline_window: Some(5_000),
     };
     let (_, report, events) = run_colocation_observed(
         &cfg,
@@ -64,6 +65,40 @@ fn same_seed_runs_are_byte_identical() {
     assert!(
         names.iter().any(|n| n.starts_with("shaper_")),
         "DAGguise run should record shaper events"
+    );
+}
+
+#[test]
+fn telemetry_has_no_observer_effect() {
+    // The whole dg-leak layer is read-only: running with every telemetry
+    // channel enabled must leave the simulation outcome byte-identical to a
+    // bare run with the same seed and workload.
+    let cfg = SystemConfig::two_core();
+    let traces = vec![stream(200, 0, 30), stream(1000, 1 << 30, 10)];
+    let kind = MemoryKind::Dagguise {
+        protected: vec![Some(RdagTemplate::new(2, 100, 0.01)), None],
+    };
+
+    let bare = dg_system::run_colocation(&cfg, traces.clone(), kind.clone(), 200_000_000)
+        .expect("bare run finishes");
+    let obs = ObsConfig {
+        trace_capacity: Some(16_384),
+        interval_window: Some(5_000),
+        shaper_timeline_window: Some(5_000),
+    };
+    let (observed, report, _) =
+        run_colocation_observed(&cfg, traces, kind, 200_000_000, "observer", &obs)
+            .expect("observed run finishes");
+
+    assert_eq!(bare, observed, "telemetry must not perturb the simulation");
+    // …and the instrumentation must actually have been on.
+    assert!(
+        !report.shaper_timelines.is_empty(),
+        "shaper timeline telemetry should be recorded"
+    );
+    assert!(
+        report.interference.is_some(),
+        "interference matrix should be recorded"
     );
 }
 
