@@ -52,4 +52,19 @@ awk -v i="$insecure_bps" -v d="$dagguise_bps" 'BEGIN {
   print "leakage: insecure " i " bits/s, dagguise " d " bits/s"
 }'
 
+echo "=== perf smoke (event-driven engine vs naive loop) ==="
+# The event-driven engine must hold a real wall-clock win on the idle-heavy
+# temporal-partition scenario. The differential test suite already proves
+# the two engines byte-identical; this gate catches quiescence-detection
+# regressions that silently fall back to per-cycle stepping. The 2x bar is
+# deliberately far below the typical >100x so scheduler noise cannot flake.
+target/release/perf_throughput --quick --out "$SMOKE_DIR/perf.json"
+tp_idle=$(awk '$1 == "\"temporal_partition/idle\":" {gsub(/,/, "", $2); print $2; exit}' \
+  "$SMOKE_DIR/perf.json")
+awk -v s="$tp_idle" 'BEGIN {
+  if (s == "") { print "perf: temporal_partition/idle speedup missing"; exit 1 }
+  if (s + 0 < 2) { print "perf: event engine only " s "x over naive (need >= 2x)"; exit 1 }
+  print "perf: temporal_partition/idle speedup " s "x"
+}'
+
 echo "CI passed."

@@ -122,6 +122,27 @@ impl Core for ProbeCore {
     fn finished_at(&self) -> Option<Cycle> {
         self.finished_at
     }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.finished_at.is_some() {
+            return None;
+        }
+        if self.observations.len() >= self.max_probes {
+            // Waiting to retire: active only once the last probe returns.
+            return if self.outstanding.is_none() {
+                Some(now)
+            } else {
+                None
+            };
+        }
+        if self.pending_send.is_some() {
+            return Some(now); // retrying a back-pressured probe
+        }
+        if self.outstanding.is_none() {
+            return Some(self.next_issue.max(now));
+        }
+        None // probe in flight: woken by on_response
+    }
 }
 
 /// The four victim behaviours of Figure 1.

@@ -1,0 +1,205 @@
+//! Engine throughput benchmark: host-seconds per simulated megacycle for
+//! the naive per-cycle loop vs the event-driven (quiescent-cycle skipping)
+//! engine, across defenses and load levels.
+//!
+//! Scenarios are the cross product of
+//! {insecure, fixed_service, temporal_partition, dagguise} ×
+//! {idle, saturated}:
+//!
+//! * *idle* — two DAG cores whose chains leave thousands of dependency-gap
+//!   cycles between requests: the event-driven engine's best case;
+//! * *saturated* — two trace cores streaming back-to-back misses: the
+//!   engine's worst case, where almost every cycle has work and the win
+//!   must come from the zero-allocation tick path alone.
+//!
+//! Both engines simulate identical cycles (the differential suite asserts
+//! byte-identical reports), so the speedup is a pure wall-clock ratio.
+//! Writes `BENCH_perf.json` (override with `--out <path>`); `--full`
+//! scales the workloads up for stabler numbers.
+
+use std::time::Instant;
+
+use dg_cpu::{DagWorkload, MemTrace};
+use dg_rdag::template::RdagTemplate;
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_system::{MemoryKind, SystemBuilder};
+
+struct Load {
+    name: &'static str,
+    /// Chain length for the idle DAG cores (0 = use traces instead).
+    chain: usize,
+    /// Dependency gap between chained requests, in CPU cycles.
+    gap: Cycle,
+    /// Streamed loads per trace core for the saturated case.
+    stream: u64,
+}
+
+struct Timed {
+    sim_cycles: Cycle,
+    seconds: f64,
+}
+
+fn stream_trace(n: u64, base: u64) -> MemTrace {
+    let mut t = MemTrace::new();
+    for i in 0..n {
+        t.load(base + i * 64 * 131, 0);
+    }
+    t
+}
+
+fn build(kind: &MemoryKind, load: &Load) -> dg_system::System {
+    let cfg = SystemConfig::two_core();
+    let mut b = SystemBuilder::new(cfg);
+    if load.chain > 0 {
+        b = b
+            .dag_core(DagWorkload::chain(load.chain, load.gap, 64 * 131))
+            .dag_core(DagWorkload::chain(load.chain, load.gap, 64 * 131));
+    } else {
+        b = b
+            .trace_core(stream_trace(load.stream, 0))
+            .trace_core(stream_trace(load.stream, 1 << 30));
+    }
+    b.memory(kind.clone()).build()
+}
+
+fn run_engine(kind: &MemoryKind, load: &Load, skip: bool) -> Timed {
+    let mut sys = build(kind, load);
+    sys.set_event_skipping(skip);
+    let t0 = Instant::now();
+    sys.run_until_finished(2_000_000_000)
+        .expect("benchmark workload must finish within budget");
+    Timed {
+        sim_cycles: sys.now(),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut full = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                });
+            }
+            other => eprintln!("warning: ignoring unknown flag {other}"),
+        }
+    }
+
+    let (idle, saturated) = if full {
+        (
+            Load {
+                name: "idle",
+                chain: 300,
+                gap: 10_000,
+                stream: 0,
+            },
+            Load {
+                name: "saturated",
+                chain: 0,
+                gap: 0,
+                stream: 15_000,
+            },
+        )
+    } else {
+        (
+            Load {
+                name: "idle",
+                chain: 40,
+                gap: 8_000,
+                stream: 0,
+            },
+            Load {
+                name: "saturated",
+                chain: 0,
+                gap: 0,
+                stream: 1_500,
+            },
+        )
+    };
+
+    let kinds: Vec<MemoryKind> = vec![
+        MemoryKind::Insecure,
+        MemoryKind::FixedService,
+        MemoryKind::TemporalPartition {
+            slots_per_period: 8,
+        },
+        MemoryKind::Dagguise {
+            protected: vec![Some(RdagTemplate::new(4, 100, 0.01)), None],
+        },
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>8}",
+        "scenario", "Mcycles", "naive s/Mc", "fast s/Mc", "speedup"
+    );
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        for load in [&idle, &saturated] {
+            let name = format!("{}/{}", kind.label(), load.name);
+            let naive = run_engine(kind, load, false);
+            let fast = run_engine(kind, load, true);
+            assert_eq!(
+                naive.sim_cycles, fast.sim_cycles,
+                "{name}: engines must simulate identical cycles"
+            );
+            let mc = naive.sim_cycles as f64 / 1e6;
+            let naive_spm = naive.seconds / mc;
+            let fast_spm = fast.seconds / mc;
+            let speedup = naive.seconds / fast.seconds.max(1e-12);
+            println!(
+                "{:<28} {:>12.3} {:>12.6} {:>12.6} {:>7.2}x",
+                name, mc, naive_spm, fast_spm, speedup
+            );
+            rows.push((
+                name,
+                naive.sim_cycles,
+                naive.seconds,
+                fast.seconds,
+                naive_spm,
+                fast_spm,
+                speedup,
+            ));
+        }
+    }
+
+    // Hand-rolled JSON so the layout is stable for shell tooling: one
+    // `"scenario/load": speedup` pair per line under "speedups".
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if full { "full" } else { "quick" }
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, (name, cycles, ns, fs, nspm, fspm, sp)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"sim_cycles\": {cycles}, \
+             \"naive_seconds\": {ns:.6}, \"fast_seconds\": {fs:.6}, \
+             \"naive_sec_per_mcycle\": {nspm:.6}, \"fast_sec_per_mcycle\": {fspm:.6}, \
+             \"speedup\": {sp:.3}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {\n");
+    for (i, (name, _, _, _, _, _, sp)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {sp:.3}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[benchmark written to {out_path}]");
+}

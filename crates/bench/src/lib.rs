@@ -98,6 +98,7 @@ impl HarnessArgs {
             trace_capacity: self.trace.is_some().then_some(DEFAULT_TRACE_CAPACITY),
             interval_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
             shaper_timeline_window: self.metrics.is_some().then_some(DEFAULT_INTERVAL_WINDOW),
+            naive_engine: false,
         }
     }
 

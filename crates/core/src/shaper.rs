@@ -229,16 +229,21 @@ impl DomainShaper for Shaper {
         Ok(())
     }
 
-    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest> {
-        let demands = self.executor.poll(now);
-        let mut out = Vec::new();
-        for demand in demands {
-            if out.len() >= space {
+    fn tick_into(&mut self, now: Cycle, space: usize, out: &mut Vec<MemRequest>) {
+        let start = out.len();
+        // Iterating by sequence index matches the order `poll` returned
+        // demands in, so the emission schedule is unchanged — but without
+        // allocating a demand vector on every tick.
+        for seq in 0..self.executor.sequence_count() {
+            if out.len() - start >= space {
                 // Transaction queue full: the slot stays due and will be
                 // retried next cycle. The stall depends only on global
                 // congestion, never on this domain's secrets.
                 break;
             }
+            let Some(demand) = self.executor.demand(seq, now) else {
+                continue;
+            };
             // Telemetry inputs, captured before the slot is filled: how
             // deep the private queue was and how long the slot sat due.
             let depth = self.queue.len();
@@ -272,7 +277,14 @@ impl DomainShaper for Shaper {
             self.in_flight.insert(req.id, InFlight { seq: demand.seq });
             out.push(req);
         }
-        out
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // The shaper acts only when a defense-rDAG slot comes due. With
+        // every sequence waiting on a response there is no self-scheduled
+        // event: completions arrive through the inner controller, whose own
+        // `next_event_at` covers them.
+        self.executor.earliest_due().map(|at| at.max(now))
     }
 
     fn on_response(&mut self, resp: &MemResponse, now: Cycle) -> Option<MemResponse> {

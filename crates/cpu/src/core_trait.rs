@@ -39,4 +39,18 @@ pub trait Core: Send {
     /// Installs an observability tracer. Cores that emit trace events store
     /// the handle; the default ignores it.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// The earliest future cycle at which ticking this core could change
+    /// state, given no responses arrive in between.
+    ///
+    /// - `Some(t)` with `t > now`: every tick in `[now, t)` is a no-op.
+    /// - `Some(now)`: the core is active this cycle; no skipping.
+    /// - `None`: the core advances only when [`Core::on_response`] is
+    ///   called (or has nothing left to do); it schedules no event itself.
+    ///
+    /// The conservative default declares the core always active, which is
+    /// correct for any implementation.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }

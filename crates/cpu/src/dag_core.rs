@@ -246,6 +246,30 @@ impl Core for DagCore {
     fn finished_at(&self) -> Option<Cycle> {
         self.finished_at
     }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.finished_at.is_some() {
+            return None;
+        }
+        if !self.send_backlog.is_empty() {
+            return Some(now); // retrying back-pressured sends
+        }
+        if self.state.iter().all(|s| *s == ReqState::Done) {
+            return Some(now); // tick sets finished_at
+        }
+        if self.outstanding >= self.max_outstanding {
+            return None; // MLP-limited: woken by on_response
+        }
+        // The next emission is the earliest Ready deadline; Blocked and
+        // Issued requests advance only via on_response.
+        self.state
+            .iter()
+            .filter_map(|s| match s {
+                ReqState::Ready(at) => Some((*at).max(now)),
+                _ => None,
+            })
+            .min()
+    }
 }
 
 #[cfg(test)]

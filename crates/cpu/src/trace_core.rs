@@ -241,6 +241,43 @@ impl Core for TraceCore {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // Mirrors `tick`'s control flow: any branch that mutates state (or
+        // could, given the caches/memory) reports `Some(now)`; branches
+        // that provably return without effect report the cycle at which
+        // that changes, or `None` when only a response can unblock us.
+        if self.finished_at.is_some() {
+            return None;
+        }
+        if !self.send_backlog.is_empty() {
+            // flush_backlog may succeed as soon as downstream space frees
+            // up, which we cannot see from here: stay active.
+            return Some(now);
+        }
+        if self.pos >= self.trace.len() && self.compute_left == 0 {
+            if !self.loaded_compute {
+                return Some(now); // tick loads tail compute
+            }
+            if self.outstanding.is_empty() {
+                return Some(now); // tick sets finished_at
+            }
+            return None; // draining misses: woken by on_response
+        }
+        if now < self.stall_until {
+            return Some(self.stall_until);
+        }
+        if self.compute_left > 0 {
+            return Some(now); // retiring compute every cycle
+        }
+        if self.trace.ops().get(self.pos).is_none() || !self.loaded_compute {
+            return Some(now);
+        }
+        if self.outstanding.len() >= self.max_outstanding || self.rob_blocked() {
+            return None; // structural hazard: woken by on_response
+        }
+        Some(now)
+    }
 }
 
 #[cfg(test)]

@@ -176,9 +176,9 @@ impl DomainShaper for CamouflageShaper {
         Ok(())
     }
 
-    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest> {
+    fn tick_into(&mut self, now: Cycle, space: usize, out: &mut Vec<MemRequest>) {
         if space == 0 || now < self.next_injection {
-            return Vec::new();
+            return;
         }
         let req = match self.queue.pop_front() {
             Some(r) => {
@@ -192,7 +192,7 @@ impl DomainShaper for CamouflageShaper {
         };
         let interval = self.draw_interval(now);
         self.next_injection = now + interval;
-        vec![req]
+        out.push(req);
     }
 
     fn on_response(&mut self, resp: &MemResponse, _now: Cycle) -> Option<MemResponse> {
@@ -205,6 +205,12 @@ impl DomainShaper for CamouflageShaper {
 
     fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // Camouflage injects unconditionally on its interval clock (fakes
+        // when idle), so its next emission time is always known.
+        Some(self.next_injection.max(now))
     }
 }
 

@@ -172,15 +172,17 @@ impl MemorySubsystem for FixedService {
         Ok(())
     }
 
-    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
-        // Fire every slot whose boundary has been reached.
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        // Fire every slot whose boundary has been reached. Slots skipped by
+        // the event-driven engine while all queues were empty are replayed
+        // here with their original timestamps, so wasted-slot accounting and
+        // any future issue times match the naive per-cycle loop exactly.
         while self.next_slot * self.config.stride <= now {
             let slot = self.next_slot;
             let at = slot * self.config.stride;
             self.next_slot += 1;
             self.fire_slot(slot, at);
         }
-        let mut out = Vec::new();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].resp.completed_at <= now {
@@ -191,7 +193,23 @@ impl MemorySubsystem for FixedService {
                 i += 1;
             }
         }
-        out
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // In-flight completions are delivered at their completed_at cycle.
+        let mut ev = self
+            .in_flight
+            .iter()
+            .map(|s| s.resp.completed_at.max(now))
+            .min();
+        // With queued work, the next slot boundary may issue (never skip
+        // it: whether a slot serves or wastes depends on queue contents).
+        // With all queues empty, wasted slots replay lazily in tick_into.
+        if self.queues.iter().any(|q| !q.is_empty()) {
+            let boundary = (self.next_slot * self.config.stride).max(now);
+            ev = dg_sim::clock::earliest_event(ev, Some(boundary));
+        }
+        ev
     }
 
     fn stats(&self) -> &MemStats {

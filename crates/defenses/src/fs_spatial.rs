@@ -118,7 +118,7 @@ impl MemorySubsystem for FsSpatial {
         Ok(())
     }
 
-    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
         // Issue: each domain may start one request per free partition bank
         // per cycle — partitions are fully independent.
         for d in 0..self.config.domains {
@@ -143,7 +143,6 @@ impl MemorySubsystem for FsSpatial {
                 });
             }
         }
-        let mut out = Vec::new();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].completed_at <= now {
@@ -154,7 +153,21 @@ impl MemorySubsystem for FsSpatial {
                 i += 1;
             }
         }
-        out
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut ev = self.in_flight.iter().map(|r| r.completed_at.max(now)).min();
+        // Issue is head-of-line per domain: the next event for a non-empty
+        // queue is when the head request's partition bank frees up.
+        for d in 0..self.config.domains {
+            if let Some(req) = self.queues[d].front() {
+                let local_bank =
+                    (self.mapper.decode(req.addr).bank % self.banks_per_domain) as usize;
+                let at = self.bank_free[d][local_bank].max(now);
+                ev = dg_sim::clock::earliest_event(ev, Some(at));
+            }
+        }
+        ev
     }
 
     fn stats(&self) -> &MemStats {

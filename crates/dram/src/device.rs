@@ -112,6 +112,13 @@ impl DramDevice {
         now >= self.refresh_due
     }
 
+    /// The absolute cycle at which the next refresh becomes due. Event-driven
+    /// schedulers use this to wake for refresh maintenance even when no
+    /// transactions are queued.
+    pub fn refresh_deadline(&self) -> Cycle {
+        self.refresh_due
+    }
+
     /// Number of refreshes performed so far.
     pub fn refreshes(&self) -> u64 {
         self.refreshes

@@ -494,8 +494,7 @@ impl MemoryController {
         }
     }
 
-    fn collect(&mut self, now: Cycle) -> Vec<MemResponse> {
-        let mut done = Vec::new();
+    fn collect_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
         let mut i = 0;
         while i < self.txq.len() {
             if let TxnState::Issued { done: d } = self.txq[i].state {
@@ -517,13 +516,12 @@ impl MemoryController {
                         latency: resp.latency(),
                         fake: resp.kind.is_fake(),
                     });
-                    done.push(resp);
+                    out.push(resp);
                     continue;
                 }
             }
             i += 1;
         }
-        done
     }
 }
 
@@ -547,14 +545,43 @@ impl MemorySubsystem for MemoryController {
         Ok(())
     }
 
-    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
-        let responses = self.collect(now);
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        self.collect_into(now, out);
         if now.is_multiple_of(self.device.timing().cmd_cycle) {
             self.leak.issued_this_edge = None;
             self.schedule(now);
             self.attribute_stalls(now);
         }
-        responses
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let cmd_cycle = self.device.timing().cmd_cycle;
+        let edge = now.next_multiple_of(cmd_cycle);
+        let mut ev: Option<Cycle> = None;
+        let mut pending = false;
+        for txn in &self.txq {
+            match txn.state {
+                // Completions are collected the cycle `done` is reached.
+                TxnState::Issued { done } => {
+                    ev = dg_sim::clock::earliest_event(ev, Some(done.max(now)));
+                }
+                TxnState::Pending => pending = true,
+            }
+        }
+        // While any transaction is pending (or a refresh drain is under
+        // way), every command-bus edge matters: the scheduler may issue and
+        // attribute_stalls charges the interference matrix per edge.
+        if pending || self.refresh_pending {
+            ev = dg_sim::clock::earliest_event(ev, Some(edge));
+        }
+        // Refresh maintenance wakes the controller even when fully idle:
+        // the first edge at or after the deadline flips `refresh_pending`.
+        let refresh_edge = self
+            .device
+            .refresh_deadline()
+            .max(now)
+            .next_multiple_of(cmd_cycle);
+        dg_sim::clock::earliest_event(ev, Some(refresh_edge))
     }
 
     fn stats(&self) -> &MemStats {
@@ -590,12 +617,20 @@ mod tests {
         c
     }
 
+    /// Ticks the controller until its queue drains, then keeps ticking for a
+    /// grace window so late (dropped or straggling) responses still surface.
+    /// Breaking as soon as the queue looks empty would silently pass tests
+    /// that drop trailing responses.
     fn run_until_done(mc: &mut MemoryController, budget: Cycle) -> Vec<MemResponse> {
+        const GRACE: Cycle = 500;
         let mut out = Vec::new();
+        let mut drained_at: Option<Cycle> = None;
         for now in 0..budget {
             out.extend(mc.tick(now));
-            if mc.occupancy() == 0 && !out.is_empty() {
-                break;
+            match drained_at {
+                None if mc.occupancy() == 0 && !out.is_empty() => drained_at = Some(now),
+                Some(at) if now >= at + GRACE => break,
+                _ => {}
             }
         }
         out

@@ -21,10 +21,30 @@ pub trait MemorySubsystem: Send {
     /// Returns `Err(req)` when the accepting queue is full.
     fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
 
-    /// Advances one CPU cycle; returns responses that complete this cycle
+    /// Advances one CPU cycle, appending responses that complete this cycle
     /// and are visible to cores (fake responses are filtered out by the
-    /// shaping layers).
-    fn tick(&mut self, now: Cycle) -> Vec<MemResponse>;
+    /// shaping layers) to `out`. The buffer is caller-owned and reused
+    /// across ticks; implementations append and never clear it.
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>);
+
+    /// Convenience wrapper over [`tick_into`](Self::tick_into) returning a
+    /// fresh `Vec`. Tests and one-shot harnesses use this; the system hot
+    /// loop uses `tick_into` with a reusable buffer.
+    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// The earliest cycle `t >= now` at which a tick of this subsystem could
+    /// change its state or produce a response, assuming no new requests are
+    /// sent to it in the meantime. `None` means the subsystem is fully
+    /// passive: it wakes only on external input. The default `Some(now)`
+    /// ("always active") is conservative and disables cycle skipping for
+    /// implementations that do not opt in.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 
     /// Aggregate statistics.
     fn stats(&self) -> &MemStats;
@@ -82,9 +102,26 @@ pub trait DomainShaper: Send {
     /// stall — this back-pressure is invisible to other domains).
     fn try_accept(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
 
-    /// Advances one CPU cycle. May emit at most `space` requests toward the
-    /// global transaction queue.
-    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest>;
+    /// Advances one CPU cycle, appending at most `space` requests bound for
+    /// the global transaction queue to `out`. The buffer is caller-owned
+    /// and reused across ticks; implementations append and never clear it.
+    fn tick_into(&mut self, now: Cycle, space: usize, out: &mut Vec<MemRequest>);
+
+    /// Convenience wrapper over [`tick_into`](Self::tick_into) returning a
+    /// fresh `Vec`; the hot path uses `tick_into` with a reusable buffer.
+    fn tick(&mut self, now: Cycle, space: usize) -> Vec<MemRequest> {
+        let mut out = Vec::new();
+        self.tick_into(now, space, &mut out);
+        out
+    }
+
+    /// The earliest cycle `t >= now` at which this shaper could emit a
+    /// request or otherwise change state, absent new accepts/responses.
+    /// `None` means the shaper wakes only on external input. The default
+    /// `Some(now)` is conservative and disables cycle skipping.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 
     /// Observes a completed transaction belonging to this domain. Returns
     /// the response to forward to the core (`None` for fake requests, whose
@@ -147,9 +184,9 @@ impl DomainShaper for PassThrough {
         Ok(())
     }
 
-    fn tick(&mut self, _now: Cycle, space: usize) -> Vec<MemRequest> {
+    fn tick_into(&mut self, _now: Cycle, space: usize, out: &mut Vec<MemRequest>) {
         let n = space.min(self.queue.len());
-        self.queue.drain(..n).collect()
+        out.extend(self.queue.drain(..n));
     }
 
     fn on_response(&mut self, resp: &MemResponse, _now: Cycle) -> Option<MemResponse> {
@@ -159,6 +196,15 @@ impl DomainShaper for PassThrough {
     fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // A pass-through only acts while it holds buffered requests.
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
 }
 
 /// A memory subsystem whose domains each pass through a [`DomainShaper`]
@@ -167,6 +213,10 @@ impl DomainShaper for PassThrough {
 pub struct ShapedMemory<M: MemorySubsystem> {
     inner: M,
     shapers: Vec<Box<dyn DomainShaper>>,
+    /// Reusable per-tick buffer for controller completions (zero-alloc path).
+    completions: Vec<MemResponse>,
+    /// Reusable per-tick buffer for shaper emissions (zero-alloc path).
+    emissions: Vec<MemRequest>,
 }
 
 impl<M: MemorySubsystem> ShapedMemory<M> {
@@ -181,7 +231,12 @@ impl<M: MemorySubsystem> ShapedMemory<M> {
                 "shaper {i} must serve domain {i}"
             );
         }
-        Self { inner, shapers }
+        Self {
+            inner,
+            shapers,
+            completions: Vec::new(),
+            emissions: Vec::new(),
+        }
     }
 
     /// The wrapped subsystem (for inspection in tests/harnesses).
@@ -215,12 +270,13 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
         self.shapers[idx].try_accept(req, now)
     }
 
-    fn tick(&mut self, now: Cycle) -> Vec<MemResponse> {
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
         // 1. Advance the controller and route completions back through the
         //    owning shapers; only real responses escape to the cores.
-        let completions = self.inner.tick(now);
-        let mut out = Vec::with_capacity(completions.len());
-        for resp in completions {
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
+        self.inner.tick_into(now, &mut completions);
+        for resp in completions.drain(..) {
             let idx = resp.domain.0 as usize;
             if idx < self.shapers.len() {
                 if let Some(r) = self.shapers[idx].on_response(&resp, now) {
@@ -230,21 +286,35 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
                 out.push(resp);
             }
         }
+        self.completions = completions;
         // 2. Let each shaper emit into the transaction queue as space allows.
         //    Fixed iteration order keeps the simulation deterministic.
+        let mut emissions = std::mem::take(&mut self.emissions);
         for s in &mut self.shapers {
             let space = self.inner.free_slots();
             if space == 0 {
                 break;
             }
-            for req in s.tick(now, space) {
+            emissions.clear();
+            s.tick_into(now, space, &mut emissions);
+            for req in emissions.drain(..) {
                 // Shapers are told the available space, so this must fit.
                 self.inner
                     .try_send(req, now)
                     .expect("shaper exceeded advertised space");
             }
         }
-        out
+        self.emissions = emissions;
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // The assembly acts whenever the controller acts (completions feed
+        // shaper executors the same cycle) or any shaper wants to emit.
+        let mut ev = self.inner.next_event_at(now);
+        for s in &self.shapers {
+            ev = dg_sim::clock::earliest_event(ev, s.next_event_at(now));
+        }
+        ev
     }
 
     fn stats(&self) -> &MemStats {

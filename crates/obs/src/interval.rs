@@ -90,6 +90,20 @@ impl IntervalSampler {
         self.window_start = now;
     }
 
+    /// Replays every window boundary in `(window_start, target]` with the
+    /// given (unchanged) cumulative counters, recording the same zero-delta
+    /// samples the naive cycle loop would have produced while the system was
+    /// quiescent. The event-driven engine calls this when warping time
+    /// forward: counters cannot change during a warp, so each skipped
+    /// boundary closes with exactly the inputs the per-cycle loop would have
+    /// observed.
+    pub fn advance_to(&mut self, target: Cycle, instructions: &[u64], bytes: &[u64]) {
+        while self.window_start + self.window <= target {
+            let boundary = self.window_start + self.window;
+            self.sample(boundary, instructions, bytes);
+        }
+    }
+
     /// Flushes the trailing partial window at end-of-run: records a final
     /// sample covering `window_start..now` when the run ends mid-window.
     /// A no-op when `now` sits exactly on a window boundary (that window
@@ -157,6 +171,27 @@ mod tests {
         s.sample(100, &[50], &[0]);
         s.flush(100, &[50], &[0]);
         assert_eq!(s.samples().len(), 1);
+    }
+
+    #[test]
+    fn advance_to_replays_skipped_boundaries() {
+        // Naive reference: per-cycle due() checks over a quiescent stretch.
+        let mut naive = IntervalSampler::new(100, 1e9, 1, 1);
+        naive.sample(100, &[50], &[6400]);
+        for now in 101..=350 {
+            if naive.due(now) {
+                naive.sample(now, &[50], &[6400]);
+            }
+        }
+        // Warped: one advance_to call covering the same stretch.
+        let mut warped = IntervalSampler::new(100, 1e9, 1, 1);
+        warped.sample(100, &[50], &[6400]);
+        warped.advance_to(350, &[50], &[6400]);
+        assert_eq!(naive.samples(), warped.samples());
+        // Boundaries at 200 and 300 were replayed as zero-delta windows.
+        assert_eq!(warped.samples().len(), 3);
+        assert_eq!(warped.samples()[2].start_cycle, 200);
+        assert_eq!(warped.samples()[2].ipc[0], 0.0);
     }
 
     #[test]

@@ -120,6 +120,35 @@ impl RdagExecutor {
             .collect()
     }
 
+    /// The demand of sequence `seq` if it is due at or before `now`, else
+    /// `None`. Allocation-free per-sequence variant of
+    /// [`poll`](Self::poll) for the shaper's hot tick path.
+    pub fn demand(&self, seq: usize, now: Cycle) -> Option<SlotDemand> {
+        let s = &self.seqs[seq];
+        match s.state {
+            SeqState::Ready { at } if at <= now => Some(SlotDemand {
+                seq,
+                bank: s.spec.vertex_bank(s.k),
+                req_type: s.spec.vertex_type(s.k),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The earliest cycle at which any sequence's next request becomes (or
+    /// already is) due, or `None` when every sequence is waiting on a
+    /// response. This is the executor's contribution to the event-driven
+    /// engine: ticks strictly before this cycle cannot produce a demand.
+    pub fn earliest_due(&self) -> Option<Cycle> {
+        self.seqs
+            .iter()
+            .filter_map(|s| match s.state {
+                SeqState::Ready { at } => Some(at),
+                SeqState::WaitingResponse => None,
+            })
+            .min()
+    }
+
     /// Records that the shaper emitted the demanded request of sequence
     /// `seq` at `now`; the sequence now waits for its response.
     ///

@@ -81,6 +81,30 @@ impl Default for ClockRatio {
     }
 }
 
+/// Merges two optional next-event times, keeping the earlier one.
+///
+/// `None` means "no self-scheduled event": a component that only reacts to
+/// external input contributes nothing to the merge. Used by the event-driven
+/// engine to fold per-component `next_event_at` answers into a single warp
+/// target.
+///
+/// # Example
+///
+/// ```
+/// use dg_sim::clock::earliest_event;
+///
+/// assert_eq!(earliest_event(None, None), None);
+/// assert_eq!(earliest_event(Some(7), None), Some(7));
+/// assert_eq!(earliest_event(Some(7), Some(3)), Some(3));
+/// ```
+pub fn earliest_event(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// Converts a bandwidth expressed in bytes per CPU cycle into GB/s for the
 /// paper's 2.4 GHz clock.
 ///

@@ -81,6 +81,10 @@ pub struct ObsConfig {
     pub interval_window: Option<Cycle>,
     /// Shaper telemetry window in CPU cycles (`None` = timelines off).
     pub shaper_timeline_window: Option<Cycle>,
+    /// Force the naive per-cycle engine instead of event-driven skipping.
+    /// Used by differential tests; both engines produce byte-identical
+    /// reports.
+    pub naive_engine: bool,
 }
 
 /// [`run_colocation`] with observability: optionally records an event trace
@@ -172,6 +176,9 @@ fn build_system(
     }
     if let Some(window) = obs.shaper_timeline_window {
         sys.enable_shaper_timelines(window);
+    }
+    if obs.naive_engine {
+        sys.set_event_skipping(false);
     }
     (sys, n)
 }

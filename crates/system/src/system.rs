@@ -8,9 +8,10 @@ use dg_obs::{
     BankReport, CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot,
     IntervalSampler, RunMeta, RunReport, TraceSummary, Tracer,
 };
-use dg_sim::clock::Cycle;
+use dg_sim::clock::{earliest_event, Cycle};
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
+use dg_sim::types::MemResponse;
 
 /// A complete simulated system.
 ///
@@ -25,6 +26,23 @@ pub struct System {
     mem_label: &'static str,
     tracer: Tracer,
     sampler: Option<IntervalSampler>,
+    /// Event-driven quiescent-cycle skipping. On by default; disabled by
+    /// `DG_NO_SKIP=1` or [`System::set_event_skipping`] for differential
+    /// testing against the naive per-cycle loop.
+    skip_enabled: bool,
+    /// Reusable scratch buffers keeping the per-tick path allocation-free.
+    resp_buf: Vec<MemResponse>,
+    instr_buf: Vec<u64>,
+    bytes_buf: Vec<u64>,
+    /// Remaining ticks before the next warp attempt. A failed attempt
+    /// (some component active right now) costs a component scan; backing
+    /// off keeps that overhead negligible under saturation while delaying
+    /// idle detection by at most the backoff length.
+    warp_backoff: Cycle,
+    /// Consecutive failed warp attempts: the backoff grows with the streak
+    /// so steadily-saturated runs scan rarely, while runs that alternate
+    /// activity and idleness keep trying nearly every tick.
+    warp_fail_streak: Cycle,
 }
 
 impl System {
@@ -40,6 +58,9 @@ impl System {
         let mut l3_cfg = cfg.cache.l3_per_core;
         l3_cfg.size_bytes *= cores.len().max(1) as u64;
         let l3 = SetAssocCache::new(l3_cfg, "L3");
+        let no_skip = std::env::var("DG_NO_SKIP")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false);
         Self {
             cfg,
             cores,
@@ -49,7 +70,25 @@ impl System {
             mem_label,
             tracer: Tracer::noop(),
             sampler: None,
+            skip_enabled: !no_skip,
+            resp_buf: Vec::new(),
+            instr_buf: Vec::new(),
+            bytes_buf: Vec::new(),
+            warp_backoff: 0,
+            warp_fail_streak: 0,
         }
+    }
+
+    /// Enables or disables event-driven quiescent-cycle skipping. The two
+    /// engines produce byte-identical [`RunReport`]s; the naive loop exists
+    /// as the differential-testing oracle (`DG_NO_SKIP=1` sets it globally).
+    pub fn set_event_skipping(&mut self, on: bool) {
+        self.skip_enabled = on;
+    }
+
+    /// Whether the event-driven engine is active.
+    pub fn event_skipping(&self) -> bool {
+        self.skip_enabled
     }
 
     /// The configuration this system runs.
@@ -115,18 +154,18 @@ impl System {
         self.mem.enable_shaper_timelines(window);
     }
 
-    /// Feeds the interval sampler the current cumulative counters.
-    fn sampler_inputs(&self) -> (Vec<u64>, Vec<u64>) {
-        let instructions = self
-            .cores
-            .iter()
-            .map(|c| c.instructions_retired())
-            .collect();
+    /// Refreshes the interval-sampler input buffers (cumulative retired
+    /// instructions and per-domain bytes) without allocating.
+    fn refresh_sampler_inputs(&mut self) {
+        self.instr_buf.clear();
+        for c in &self.cores {
+            self.instr_buf.push(c.instructions_retired());
+        }
+        self.bytes_buf.clear();
         let stats = self.mem.stats();
-        let bytes = (0..self.cores.len())
-            .map(|i| stats.domains()[i].bandwidth.bytes())
-            .collect();
-        (instructions, bytes)
+        for d in stats.domains().iter().take(self.cores.len()) {
+            self.bytes_buf.push(d.bandwidth.bytes());
+        }
     }
 
     /// Flushes the trailing partial interval window at end-of-run so the
@@ -135,9 +174,16 @@ impl System {
         if self.sampler.is_none() {
             return;
         }
-        let (instructions, bytes) = self.sampler_inputs();
-        if let Some(s) = &mut self.sampler {
-            s.flush(self.now, &instructions, &bytes);
+        self.refresh_sampler_inputs();
+        let now = self.now;
+        let Self {
+            sampler,
+            instr_buf,
+            bytes_buf,
+            ..
+        } = self;
+        if let Some(s) = sampler {
+            s.flush(now, instr_buf, bytes_buf);
         }
     }
 
@@ -145,8 +191,10 @@ impl System {
     pub fn tick(&mut self) {
         let now = self.now;
         // Memory first: completions this cycle unblock cores this cycle.
-        let responses = self.mem.tick(now);
-        for resp in responses {
+        self.resp_buf.clear();
+        self.mem.tick_into(now, &mut self.resp_buf);
+        for i in 0..self.resp_buf.len() {
+            let resp = self.resp_buf[i];
             let idx = resp.domain.0 as usize;
             if let Some(core) = self.cores.get_mut(idx) {
                 core.on_response(&resp, now);
@@ -157,12 +205,73 @@ impl System {
         }
         self.now += 1;
         if self.sampler.as_ref().is_some_and(|s| s.due(self.now)) {
-            let (instructions, bytes) = self.sampler_inputs();
-            self.sampler
-                .as_mut()
-                .expect("checked above")
-                .sample(self.now, &instructions, &bytes);
+            self.refresh_sampler_inputs();
+            let now = self.now;
+            let Self {
+                sampler,
+                instr_buf,
+                bytes_buf,
+                ..
+            } = self;
+            if let Some(s) = sampler {
+                s.sample(now, instr_buf, bytes_buf);
+            }
         }
+    }
+
+    /// The earliest future cycle at which any component can change state,
+    /// clamped to `[now, limit]`. `limit` is returned when every component
+    /// is fully passive (waiting on input that will never come).
+    fn next_event(&self, limit: Cycle) -> Cycle {
+        let now = self.now;
+        let mut ev = self.mem.next_event_at(now);
+        for core in &self.cores {
+            ev = earliest_event(ev, core.next_event_at(now));
+        }
+        ev.map_or(limit, |t| t.clamp(now, limit))
+    }
+
+    /// Attempts one warp: scans component event times and jumps ahead when
+    /// everything is quiescent. Skipping an attempt is always sound (the
+    /// loop just ticks naively), so failed attempts arm a short backoff to
+    /// amortize the scan under saturation.
+    fn maybe_warp(&mut self, limit: Cycle) {
+        if self.warp_backoff > 0 {
+            self.warp_backoff -= 1;
+            return;
+        }
+        let target = self.next_event(limit);
+        if target > self.now {
+            self.warp_to(target);
+            self.warp_fail_streak = 0;
+        } else {
+            self.warp_fail_streak = (self.warp_fail_streak + 1).min(31);
+            self.warp_backoff = self.warp_fail_streak;
+        }
+    }
+
+    /// Warps simulation time forward to `target`, replaying any interval
+    /// -sampler window boundaries the skipped cycles would have produced.
+    /// Only provably quiescent spans may be warped over: every counter a
+    /// replayed sample reads is unchanged across the span, so the samples
+    /// are byte-identical to the naive loop's zero-delta windows.
+    fn warp_to(&mut self, target: Cycle) {
+        if target <= self.now {
+            return;
+        }
+        if self.sampler.is_some() {
+            self.refresh_sampler_inputs();
+            let Self {
+                sampler,
+                instr_buf,
+                bytes_buf,
+                ..
+            } = self;
+            if let Some(s) = sampler {
+                s.advance_to(target, instr_buf, bytes_buf);
+            }
+        }
+        self.now = target;
     }
 
     /// Runs until every core finishes.
@@ -171,14 +280,19 @@ impl System {
     ///
     /// Returns [`SimError::Deadline`] if the budget is exhausted first.
     pub fn run_until_finished(&mut self, budget: Cycle) -> Result<Cycle, SimError> {
-        let start = self.now;
-        while self.now - start < budget {
+        let limit = self.now + budget;
+        while self.now < limit {
             if self.cores.iter().all(|c| c.finished()) {
                 self.mem.stats_mut().set_cycles(self.now);
                 self.flush_sampler();
                 return Ok(self.now);
             }
             self.tick();
+            // Never warp past the tick that finished the run: the naive
+            // loop stops incrementing `now` there, and so must we.
+            if self.skip_enabled && !self.cores.iter().all(|c| c.finished()) {
+                self.maybe_warp(limit);
+            }
         }
         Err(SimError::Deadline { budget })
     }
@@ -194,22 +308,29 @@ impl System {
         domain: usize,
         budget: Cycle,
     ) -> Result<Cycle, SimError> {
-        let start = self.now;
-        while self.now - start < budget {
+        let limit = self.now + budget;
+        while self.now < limit {
             if self.cores[domain].finished() {
                 self.mem.stats_mut().set_cycles(self.now);
                 self.flush_sampler();
                 return Ok(self.cores[domain].finished_at().expect("finished"));
             }
             self.tick();
+            if self.skip_enabled && !self.cores[domain].finished() {
+                self.maybe_warp(limit);
+            }
         }
         Err(SimError::Deadline { budget })
     }
 
     /// Runs exactly `window` cycles.
     pub fn run_for(&mut self, window: Cycle) {
-        for _ in 0..window {
+        let limit = self.now + window;
+        while self.now < limit {
             self.tick();
+            if self.skip_enabled {
+                self.maybe_warp(limit);
+            }
         }
         self.mem.stats_mut().set_cycles(self.now);
         self.flush_sampler();

@@ -17,11 +17,16 @@ fn stream(n: u64, base: u64, gap: u64) -> MemTrace {
 }
 
 fn observed_run() -> (Vec<dg_obs::Event>, dg_obs::RunReport) {
+    observed_run_with_engine(false)
+}
+
+fn observed_run_with_engine(naive_engine: bool) -> (Vec<dg_obs::Event>, dg_obs::RunReport) {
     let cfg = SystemConfig::two_core();
     let obs = ObsConfig {
         trace_capacity: Some(16_384),
         interval_window: Some(5_000),
         shaper_timeline_window: Some(5_000),
+        naive_engine,
     };
     let (_, report, events) = run_colocation_observed(
         &cfg,
@@ -85,6 +90,7 @@ fn telemetry_has_no_observer_effect() {
         trace_capacity: Some(16_384),
         interval_window: Some(5_000),
         shaper_timeline_window: Some(5_000),
+        naive_engine: false,
     };
     let (observed, report, _) =
         run_colocation_observed(&cfg, traces, kind, 200_000_000, "observer", &obs)
@@ -99,6 +105,29 @@ fn telemetry_has_no_observer_effect() {
     assert!(
         report.interference.is_some(),
         "interference matrix should be recorded"
+    );
+}
+
+#[test]
+fn event_skipping_matches_naive_engine_byte_for_byte() {
+    // The event-driven engine (quiescent-cycle skipping) must be a pure
+    // optimization: the same seeded colocation run under the naive
+    // cycle-by-cycle loop and under the fast path must produce
+    // byte-identical serialized reports, event streams, and Chrome traces.
+    let (events_fast, report_fast) = observed_run_with_engine(false);
+    let (events_naive, report_naive) = observed_run_with_engine(true);
+
+    assert!(!events_fast.is_empty(), "the run must record events");
+    assert_eq!(events_fast.len(), events_naive.len());
+    assert_eq!(
+        chrome_trace_json(&events_fast),
+        chrome_trace_json(&events_naive),
+        "Chrome traces must be byte-identical across engines"
+    );
+    assert_eq!(
+        report_fast.to_json(),
+        report_naive.to_json(),
+        "RunReports must be byte-identical across engines"
     );
 }
 
