@@ -22,9 +22,32 @@ SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 DG_RUN=target/release/dg-run
 "$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
-  --journal "$SMOKE_DIR/smoke.jsonl" --out "$SMOKE_DIR/smoke.json"
+  --journal "$SMOKE_DIR/smoke.jsonl" --out "$SMOKE_DIR/smoke.json" \
+  --profile "$SMOKE_DIR/profile.json"
 grep -q '"attempts": 2' "$SMOKE_DIR/smoke.json" \
   || { echo "smoke: expected the under-budgeted job to need a retry"; exit 1; }
+
+# Latency gate: the merged report's per-defense leaderboard must carry a
+# finite, nonzero p99 for every defense in the grid.
+awk '/^  "latency": \[/ {f=1} /^  "jobs": \[/ {f=0}
+  f && $1 == "\"p99\":" {gsub(/,/, "", $2); n++; if ($2 !~ /^[0-9]+$/ || $2 + 0 <= 0) bad=$2}
+  END {
+    if (n != 2) { print "latency: expected p99 for 2 defenses, saw " n; exit 1 }
+    if (bad != "") { print "latency: non-finite or zero p99: " bad; exit 1 }
+    print "latency: p99 present and finite for " n " defenses"
+  }' "$SMOKE_DIR/smoke.json"
+
+# Profiler gate: every profiled job (and each per-defense merge) must
+# attribute >= 90% of its wall time to known spans — anything less means
+# a hot phase lost its instrumentation.
+awk '$1 == "\"coverage\":" {gsub(/,/, "", $2); n++; if ($2 + 0 < 0.9) {bad=1; v=$2}}
+  END {
+    if (n == 0) { print "profile: no coverage entries recorded"; exit 1 }
+    if (bad) { print "profile: only " v " of wall time attributed (need >= 0.9)"; exit 1 }
+    print "profile: " n " attribution trees, all >= 90% span coverage"
+  }' "$SMOKE_DIR/profile.json"
+test -s "$SMOKE_DIR/profile.folded" \
+  || { echo "profile: collapsed-stack artifact missing or empty"; exit 1; }
 # Resuming from the journal skips everything and reproduces the report
 # byte-for-byte at a different worker count.
 "$DG_RUN" examples/smoke.toml --quiet --jobs 1 --retries 2 --escalation 1000 \
@@ -59,7 +82,8 @@ echo "=== perf smoke (event-driven engine vs naive loop) ==="
 # regressions that silently fall back to per-cycle stepping. The 2x bar is
 # deliberately far below the typical >100x so scheduler noise cannot flake.
 target/release/perf_throughput --quick --out "$SMOKE_DIR/perf.json"
-tp_idle=$(awk '$1 == "\"temporal_partition/idle\":" {gsub(/,/, "", $2); print $2; exit}' \
+# The history document appends one record per invocation; take the latest.
+tp_idle=$(awk '$1 == "\"temporal_partition/idle\":" {gsub(/,/, "", $2); v=$2} END {print v}' \
   "$SMOKE_DIR/perf.json")
 awk -v s="$tp_idle" 'BEGIN {
   if (s == "") { print "perf: temporal_partition/idle speedup missing"; exit 1 }

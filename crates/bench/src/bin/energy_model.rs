@@ -108,4 +108,6 @@ fn main() {
             Err(e) => eprintln!("warning: observed run failed: {e}"),
         }
     }
+
+    args.export_profile();
 }

@@ -205,6 +205,7 @@ fn main() {
         }
     }
 
+    args.export_profile();
     if !complete {
         std::process::exit(1);
     }

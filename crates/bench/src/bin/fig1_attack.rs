@@ -109,4 +109,6 @@ fn main() {
         );
         args.export_leak(&leak);
     }
+
+    args.export_profile();
 }

@@ -280,4 +280,6 @@ fn main() {
         );
         args.export_leak(&camo_leak);
     }
+
+    args.export_profile();
 }

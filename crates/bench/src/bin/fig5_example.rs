@@ -227,4 +227,6 @@ fn main() {
             Err(e) => eprintln!("warning: observed run failed: {e}"),
         }
     }
+
+    args.export_profile();
 }

@@ -61,4 +61,6 @@ fn main() {
             two_seq_dot: dot_b,
         },
     );
+
+    args.export_profile();
 }

@@ -150,6 +150,7 @@ fn main() {
         }
     }
 
+    args.export_profile();
     if !complete {
         std::process::exit(1);
     }

@@ -176,6 +176,7 @@ fn main() {
         }
     }
 
+    args.export_profile();
     if !complete {
         std::process::exit(1);
     }

@@ -14,10 +14,14 @@
 //!
 //! Both engines simulate identical cycles (the differential suite asserts
 //! byte-identical reports), so the speedup is a pure wall-clock ratio.
-//! Writes `BENCH_perf.json` (override with `--out <path>`); `--full`
-//! scales the workloads up for stabler numbers.
+//! Appends a timestamped run record (with host info) to the `runs` array
+//! of `BENCH_perf.json` (override with `--out <path>`) so numbers stay
+//! comparable across machines and commits; a pre-history single-run file
+//! is migrated into the array on first append. `--full` scales the
+//! workloads up for stabler numbers; `--profile <path>` additionally
+//! writes a host-time span profile of the benchmark itself.
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use dg_cpu::{DagWorkload, MemTrace};
 use dg_rdag::template::RdagTemplate;
@@ -64,8 +68,12 @@ fn build(kind: &MemoryKind, load: &Load) -> dg_system::System {
 }
 
 fn run_engine(kind: &MemoryKind, load: &Load, skip: bool) -> Timed {
-    let mut sys = build(kind, load);
+    let mut sys = {
+        let _prof = dg_prof::span("build");
+        build(kind, load)
+    };
     sys.set_event_skipping(skip);
+    let _prof = dg_prof::span(if skip { "fast_engine" } else { "naive_engine" });
     let t0 = Instant::now();
     sys.run_until_finished(2_000_000_000)
         .expect("benchmark workload must finish within budget");
@@ -77,6 +85,7 @@ fn run_engine(kind: &MemoryKind, load: &Load, skip: bool) -> Timed {
 
 fn main() {
     let mut out_path = String::from("BENCH_perf.json");
+    let mut profile_path: Option<String> = None;
     let mut full = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,8 +98,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--profile" => {
+                profile_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --profile requires a value");
+                    std::process::exit(2);
+                }));
+            }
             other => eprintln!("warning: ignoring unknown flag {other}"),
         }
+    }
+    if profile_path.is_some() {
+        dg_prof::start();
     }
 
     let (idle, saturated) = if full {
@@ -171,35 +189,133 @@ fn main() {
     }
 
     // Hand-rolled JSON so the layout is stable for shell tooling: one
-    // `"scenario/load": speedup` pair per line under "speedups".
-    let mut json = String::from("{\n");
+    // `"scenario/load": speedup` pair per line under "speedups". Each
+    // invocation appends one run record; indentation is fixed at
+    // four spaces (runs sit inside the top-level "runs" array).
+    let mut json = String::from("    {\n");
     json.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
+        "      \"timestamp_unix\": {},\n",
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    ));
+    json.push_str(&format!(
+        "      \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"parallelism\": {}}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "      \"mode\": \"{}\",\n",
         if full { "full" } else { "quick" }
     ));
-    json.push_str("  \"scenarios\": [\n");
+    json.push_str("      \"scenarios\": [\n");
     for (i, (name, cycles, ns, fs, nspm, fspm, sp)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"sim_cycles\": {cycles}, \
+            "        {{\"name\": \"{name}\", \"sim_cycles\": {cycles}, \
              \"naive_seconds\": {ns:.6}, \"fast_seconds\": {fs:.6}, \
              \"naive_sec_per_mcycle\": {nspm:.6}, \"fast_sec_per_mcycle\": {fspm:.6}, \
              \"speedup\": {sp:.3}}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"speedups\": {\n");
+    json.push_str("      ],\n");
+    json.push_str("      \"speedups\": {\n");
     for (i, (name, _, _, _, _, _, sp)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{name}\": {sp:.3}{}\n",
+            "        \"{name}\": {sp:.3}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("      }\n    }");
 
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    let document = match append_run(&out_path, &json) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: cannot update {out_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &document) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("[benchmark written to {out_path}]");
+    eprintln!("[benchmark run appended to {out_path}]");
+
+    if let Some(path) = profile_path {
+        match dg_prof::stop() {
+            Some(report) => {
+                eprintln!(
+                    "[host profile: {:.1} ms wall, {:.0}% attributed]",
+                    report.total_ns as f64 / 1e6,
+                    report.coverage * 100.0
+                );
+                for (name, self_ns) in report.top_self().into_iter().take(3) {
+                    eprintln!("  {name:<20} {:.1} ms self", self_ns as f64 / 1e6);
+                }
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("[host profile written to {path}]");
+            }
+            None => eprintln!("warning: --profile given but dg-prof is compiled out"),
+        }
+    }
+}
+
+/// Builds the full benchmark-history document with `run_json` appended to
+/// the `runs` array. A missing file starts a fresh history; a pre-history
+/// file (top-level `"mode"` object from before the append format) is
+/// migrated by nesting it as the first run.
+fn append_run(path: &str, run_json: &str) -> Result<String, String> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut runs: Vec<String> = Vec::new();
+    if let Some(text) = existing {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            // Treat like a fresh file.
+        } else if let Some(body) = trimmed
+            .strip_prefix("{")
+            .and_then(|t| t.trim_start().strip_prefix("\"runs\": ["))
+        {
+            // Current format: everything between the array brackets is the
+            // previous runs, kept verbatim (re-indenting would churn
+            // history diffs).
+            let body = body
+                .rsplit_once(']')
+                .ok_or("malformed runs array")?
+                .0
+                .trim_end()
+                .trim_end_matches(',');
+            if !body.trim().is_empty() {
+                runs.push(body.to_string());
+            }
+        } else if trimmed.starts_with('{') {
+            // Legacy single-run document: indent it into the array.
+            let nested: String = trimmed
+                .lines()
+                .map(|l| {
+                    if l.is_empty() {
+                        String::from("\n")
+                    } else {
+                        format!("    {l}\n")
+                    }
+                })
+                .collect();
+            runs.push(nested.trim_end().to_string());
+        } else {
+            return Err(format!("{path} is not a benchmark history document"));
+        }
+    }
+    runs.push(run_json.to_string());
+    Ok(format!(
+        "{{\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    ))
 }

@@ -69,4 +69,6 @@ fn main() {
     );
 
     dg_bench::write_results("table3_area", &Table3Data { paper: r, sweep });
+
+    args.export_profile();
 }

@@ -117,4 +117,6 @@ fn main() {
         },
     );
     println!("\nSecurity property verified: no attacker input distinguishes transmitter traces.");
+
+    args.export_profile();
 }

@@ -58,6 +58,9 @@ pub fn parse_args() -> Scale {
 ///   (load it in Perfetto / `chrome://tracing`);
 /// * `--leak <path>` — write the covert-channel leakage report
 ///   (capacity-over-time) JSON there, on harnesses that run a probe;
+/// * `--profile <path>` — record a host-time span profile of the whole
+///   harness and write the attribution tree there (plus a
+///   collapsed-stack `.folded` sibling for flamegraphs);
 /// * `--jobs N` — worker threads for the sweep (falls back to the
 ///   `DG_JOBS` environment variable, then host parallelism);
 /// * `--journal <path>` — append per-job checkpoints there;
@@ -74,6 +77,10 @@ pub struct HarnessArgs {
     pub trace: Option<PathBuf>,
     /// Destination for the leakage (capacity-over-time) JSON, if requested.
     pub leak: Option<PathBuf>,
+    /// Destination for the host-time profile JSON, if requested.
+    /// [`parse_harness_args`] starts the profiler when this is set; the
+    /// harness calls [`export_profile`](Self::export_profile) at the end.
+    pub profile: Option<PathBuf>,
     /// Explicit `--jobs` worker-count override.
     pub jobs: Option<usize>,
     /// Journal path from `--journal`.
@@ -137,6 +144,32 @@ impl HarnessArgs {
             }
         }
     }
+
+    /// Stops the profiler (started by [`parse_harness_args`] when
+    /// `--profile` was given) and writes the host-time attribution tree
+    /// plus its collapsed-stack `.folded` sibling, printing the top
+    /// self-time components. Harnesses call this last — including before
+    /// any early `std::process::exit`. Same failure policy as
+    /// [`export`](Self::export); a no-op without `--profile`.
+    pub fn export_profile(&self) {
+        let Some(path) = &self.profile else {
+            return;
+        };
+        let Some(report) = dg_prof::stop() else {
+            eprintln!("warning: --profile given but the profiler is compiled out (dg-prof `prof` feature)");
+            return;
+        };
+        eprintln!(
+            "[host profile: {:.1} ms wall, {:.0}% attributed]",
+            report.total_ns as f64 / 1e6,
+            report.coverage * 100.0
+        );
+        for (name, self_ns) in report.top_self().into_iter().take(3) {
+            eprintln!("  {name:<20} {:.1} ms self", self_ns as f64 / 1e6);
+        }
+        write_artifact(path, &report.to_json());
+        write_artifact(&path.with_extension("folded"), &report.collapsed());
+    }
 }
 
 fn write_artifact(path: &Path, contents: &str) {
@@ -175,6 +208,7 @@ pub fn parse_harness_args() -> HarnessArgs {
             "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
             "--trace" => out.trace = Some(PathBuf::from(value("--trace"))),
             "--leak" => out.leak = Some(PathBuf::from(value("--leak"))),
+            "--profile" => out.profile = Some(PathBuf::from(value("--profile"))),
             "--journal" => out.journal = Some(PathBuf::from(value("--journal"))),
             "--resume" => out.resume = Some(PathBuf::from(value("--resume"))),
             "--jobs" => match value("--jobs").parse::<usize>() {
@@ -193,6 +227,9 @@ pub fn parse_harness_args() -> HarnessArgs {
             },
             _ => {}
         }
+    }
+    if out.profile.is_some() {
+        dg_prof::start();
     }
     out
 }

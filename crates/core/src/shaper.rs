@@ -226,10 +226,15 @@ impl DomainShaper for Shaper {
         });
         self.queue.push_back(req);
         self.stats.accepted += 1;
+        self.tracer.record(now, || EventKind::ShaperQueueDepth {
+            domain: self.config.domain,
+            depth: self.queue.len() as u32,
+        });
         Ok(())
     }
 
     fn tick_into(&mut self, now: Cycle, space: usize, out: &mut Vec<MemRequest>) {
+        let _prof = dg_prof::span("rdag_exec");
         let start = out.len();
         // Iterating by sequence index matches the order `poll` returned
         // demands in, so the emission schedule is unchanged — but without
@@ -256,6 +261,12 @@ impl DomainShaper for Shaper {
                         id: real.id,
                         domain: real.domain,
                         bank: demand.bank,
+                    });
+                    // Forwarding popped the private queue: sample the new
+                    // depth for the counter track.
+                    self.tracer.record(now, || EventKind::ShaperQueueDepth {
+                        domain: self.config.domain,
+                        depth: self.queue.len() as u32,
                     });
                     real
                 }

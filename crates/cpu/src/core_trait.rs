@@ -40,6 +40,13 @@ pub trait Core: Send {
     /// the handle; the default ignores it.
     fn set_tracer(&mut self, _tracer: Tracer) {}
 
+    /// HDR histogram of the simulated-cycle gaps between this core's
+    /// instruction-completion events. Cores that do not track completion
+    /// timing return the empty default.
+    fn completion_snapshot(&self) -> dg_prof::HistSnapshot {
+        dg_prof::HistSnapshot::default()
+    }
+
     /// The earliest future cycle at which ticking this core could change
     /// state, given no responses arrive in between.
     ///

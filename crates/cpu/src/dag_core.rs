@@ -103,6 +103,9 @@ pub struct DagCore {
     pub emissions: Vec<(Cycle, u64)>,
     /// Completion time of each request by index.
     pub completions: Vec<Option<Cycle>>,
+    /// Gaps between request-completion events (simulated cycles).
+    completion_gaps: dg_prof::LogHistogram,
+    last_completion: Cycle,
 }
 
 impl DagCore {
@@ -133,6 +136,8 @@ impl DagCore {
             finished_at: None,
             emissions: Vec::new(),
             completions: vec![None; n],
+            completion_gaps: dg_prof::LogHistogram::new(),
+            last_completion: 0,
         }
     }
 
@@ -232,6 +237,8 @@ impl Core for DagCore {
         self.completions[idx] = Some(now);
         self.outstanding -= 1;
         self.instrs_done += self.workload.reqs[idx].instrs;
+        self.completion_gaps.record(now - self.last_completion);
+        self.last_completion = now;
         self.unblock_dependents(idx, now);
     }
 
@@ -245,6 +252,10 @@ impl Core for DagCore {
 
     fn finished_at(&self) -> Option<Cycle> {
         self.finished_at
+    }
+
+    fn completion_snapshot(&self) -> dg_prof::HistSnapshot {
+        self.completion_gaps.snapshot()
     }
 
     fn next_event_at(&self, now: Cycle) -> Option<Cycle> {

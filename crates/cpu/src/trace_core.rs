@@ -53,6 +53,9 @@ pub struct TraceCore {
     /// LLC misses issued (statistics).
     pub demand_misses: u64,
     tracer: Tracer,
+    /// Gaps between instruction-retiring ticks (simulated cycles).
+    completion: dg_prof::LogHistogram,
+    last_retire: Cycle,
 }
 
 impl TraceCore {
@@ -76,7 +79,16 @@ impl TraceCore {
             loaded_compute: false,
             demand_misses: 0,
             tracer: Tracer::noop(),
+            completion: dg_prof::LogHistogram::new(),
+            last_retire: 0,
         }
+    }
+
+    /// Records one instruction-retiring tick at `now` into the completion
+    /// histogram (the recorded value is the gap since the previous one).
+    fn note_retire(&mut self, now: Cycle) {
+        self.completion.record(now - self.last_retire);
+        self.last_retire = now;
     }
 
     /// The private cache hierarchy (statistics access).
@@ -143,6 +155,7 @@ impl Core for TraceCore {
             let w = self.issue_width.min(self.compute_left);
             self.compute_left -= w;
             self.instrs_done += w;
+            self.note_retire(now);
             return;
         }
 
@@ -218,6 +231,7 @@ impl Core for TraceCore {
         self.instrs_done += 1;
         self.pos += 1;
         self.loaded_compute = false;
+        self.note_retire(now);
     }
 
     fn on_response(&mut self, resp: &MemResponse, _now: Cycle) {
@@ -240,6 +254,10 @@ impl Core for TraceCore {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn completion_snapshot(&self) -> dg_prof::HistSnapshot {
+        self.completion.snapshot()
     }
 
     fn next_event_at(&self, now: Cycle) -> Option<Cycle> {

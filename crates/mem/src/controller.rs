@@ -516,6 +516,9 @@ impl MemoryController {
                         latency: resp.latency(),
                         fake: resp.kind.is_fake(),
                     });
+                    self.tracer.record(now, || EventKind::TxqOccupancy {
+                        count: self.txq.len() as u32,
+                    });
                     out.push(resp);
                     continue;
                 }
@@ -542,12 +545,17 @@ impl MemorySubsystem for MemoryController {
             arrived: now,
             state: TxnState::Pending,
         });
+        self.tracer.record(now, || EventKind::TxqOccupancy {
+            count: self.txq.len() as u32,
+        });
         Ok(())
     }
 
     fn tick_into(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        let _prof = dg_prof::span("controller");
         self.collect_into(now, out);
         if now.is_multiple_of(self.device.timing().cmd_cycle) {
+            let _prof = dg_prof::span("dram_device");
             self.leak.issued_this_edge = None;
             self.schedule(now);
             self.attribute_stalls(now);

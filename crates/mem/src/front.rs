@@ -289,6 +289,7 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
         self.completions = completions;
         // 2. Let each shaper emit into the transaction queue as space allows.
         //    Fixed iteration order keeps the simulation deterministic.
+        let _prof = dg_prof::span("shaper");
         let mut emissions = std::mem::take(&mut self.emissions);
         for s in &mut self.shapers {
             let space = self.inner.free_slots();

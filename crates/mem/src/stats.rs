@@ -1,6 +1,7 @@
 //! Per-domain memory statistics.
 
 use dg_dram::power::EnergyCounter;
+use dg_prof::LogHistogram;
 use dg_sim::clock::Cycle;
 use dg_sim::stats::{BandwidthMeter, Histogram};
 use dg_sim::types::{DomainId, MemResponse};
@@ -19,6 +20,10 @@ pub struct DomainStats {
     pub bandwidth: BandwidthMeter,
     /// Latency histogram of real transactions (arrival → completion).
     pub latency: Histogram,
+    /// HDR (log-bucketed) latency histogram of real transactions: unlike
+    /// `latency`, it covers the full `u64` range and yields p50/p99/p999
+    /// with a bounded 3.125% relative error.
+    pub latency_hdr: LogHistogram,
     /// Sum of real-transaction latencies, for mean computation.
     pub latency_sum: Cycle,
 }
@@ -33,6 +38,7 @@ impl DomainStats {
             fakes: 0,
             bandwidth: BandwidthMeter::new(),
             latency: Histogram::new(10, 1000),
+            latency_hdr: LogHistogram::new(),
             latency_sum: 0,
         }
     }
@@ -60,6 +66,7 @@ impl DomainStats {
                 self.reads += 1;
             }
             self.latency.record(resp.latency());
+            self.latency_hdr.record(resp.latency());
             self.latency_sum += resp.latency();
         }
     }

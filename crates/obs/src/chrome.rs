@@ -38,6 +38,10 @@ fn event_entry(e: &Event) -> Value {
         EventKind::Issue { domain, .. } => ("b", PID_REQUESTS, u64::from(domain.0)),
         EventKind::Response { domain, .. } => ("e", PID_REQUESTS, u64::from(domain.0)),
         EventKind::BankCommand { bank, .. } => ("i", PID_DRAM, u64::from(bank)),
+        // Counter tracks: one per shaper queue (on the owning domain's
+        // thread) and one for controller in-flight occupancy.
+        EventKind::ShaperQueueDepth { domain, .. } => ("C", PID_REQUESTS, u64::from(domain.0)),
+        EventKind::TxqOccupancy { .. } => ("C", PID_DRAM, 0),
         kind => (
             "i",
             PID_REQUESTS,
@@ -128,6 +132,10 @@ fn args_for(kind: &EventKind) -> Value {
             ("latency", Value::UInt(latency)),
             ("fake", Value::Bool(fake)),
         ]),
+        EventKind::ShaperQueueDepth { depth, .. } => {
+            obj(vec![("depth", Value::UInt(u64::from(depth)))])
+        }
+        EventKind::TxqOccupancy { count } => obj(vec![("count", Value::UInt(u64::from(count)))]),
         EventKind::ShaperAccept { .. } | EventKind::ShaperReject { .. } => obj(vec![]),
     }
 }
@@ -280,6 +288,48 @@ mod tests {
         assert_eq!(act.get("pid").and_then(Value::as_u64), Some(PID_DRAM));
         assert_eq!(act.get("tid").and_then(Value::as_u64), Some(3));
         assert_eq!(act.get("ts").and_then(Value::as_u64), Some(12));
+    }
+
+    #[test]
+    fn counter_events_export_as_counter_phase() {
+        let events = vec![
+            Event {
+                cycle: 5,
+                kind: EventKind::ShaperQueueDepth {
+                    domain: DomainId(2),
+                    depth: 4,
+                },
+            },
+            Event {
+                cycle: 6,
+                kind: EventKind::TxqOccupancy { count: 9 },
+            },
+        ];
+        let v = chrome_trace(&events);
+        let tev = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+        // 2 metadata entries + 2 counters, no flow events.
+        assert_eq!(tev.len(), 4);
+        let depth = tev
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("shaper_queue_depth"))
+            .expect("shaper_queue_depth entry");
+        assert_eq!(depth.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(depth.get("pid").and_then(Value::as_u64), Some(PID_REQUESTS));
+        assert_eq!(depth.get("tid").and_then(Value::as_u64), Some(2));
+        // Counters carry their value in args and are not instants, so no
+        // scope field and no request id.
+        assert!(depth.get("s").is_none());
+        assert!(depth.get("id").is_none());
+        let args = depth.get("args").expect("args");
+        assert_eq!(args.get("depth").and_then(Value::as_u64), Some(4));
+        let occ = tev
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("txq_occupancy"))
+            .expect("txq_occupancy entry");
+        assert_eq!(occ.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(occ.get("pid").and_then(Value::as_u64), Some(PID_DRAM));
+        let args = occ.get("args").expect("args");
+        assert_eq!(args.get("count").and_then(Value::as_u64), Some(9));
     }
 
     #[test]

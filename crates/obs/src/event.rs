@@ -118,6 +118,21 @@ pub enum EventKind {
         /// True for shaper-fabricated traffic.
         fake: bool,
     },
+    /// Counter sample: a shaper's private queue depth after it changed
+    /// (accept or real emission). Exported as a Chrome "C" counter track.
+    ShaperQueueDepth {
+        /// Owning domain.
+        domain: DomainId,
+        /// Queue depth after the change.
+        depth: u32,
+    },
+    /// Counter sample: the memory controller's transaction-queue occupancy
+    /// after it changed (enqueue or completion). Exported as a Chrome "C"
+    /// counter track.
+    TxqOccupancy {
+        /// In-flight transactions after the change.
+        count: u32,
+    },
 }
 
 impl EventKind {
@@ -133,6 +148,8 @@ impl EventKind {
             EventKind::TxqEnqueue { .. } => "txq_enqueue",
             EventKind::BankCommand { cmd, .. } => cmd.name(),
             EventKind::Response { .. } => "response",
+            EventKind::ShaperQueueDepth { .. } => "shaper_queue_depth",
+            EventKind::TxqOccupancy { .. } => "txq_occupancy",
         }
     }
 
@@ -146,8 +163,9 @@ impl EventKind {
             | EventKind::ShaperEmitReal { domain, .. }
             | EventKind::ShaperEmitFake { domain, .. }
             | EventKind::TxqEnqueue { domain, .. }
-            | EventKind::Response { domain, .. } => Some(domain),
-            EventKind::BankCommand { .. } => None,
+            | EventKind::Response { domain, .. }
+            | EventKind::ShaperQueueDepth { domain, .. } => Some(domain),
+            EventKind::BankCommand { .. } | EventKind::TxqOccupancy { .. } => None,
         }
     }
 
@@ -161,7 +179,10 @@ impl EventKind {
             | EventKind::ShaperEmitFake { id, .. }
             | EventKind::TxqEnqueue { id, .. }
             | EventKind::Response { id, .. } => Some(id),
-            EventKind::LlcMiss { .. } | EventKind::BankCommand { .. } => None,
+            EventKind::LlcMiss { .. }
+            | EventKind::BankCommand { .. }
+            | EventKind::ShaperQueueDepth { .. }
+            | EventKind::TxqOccupancy { .. } => None,
         }
     }
 }

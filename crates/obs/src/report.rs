@@ -12,6 +12,7 @@
 use crate::interval::IntervalSample;
 use crate::leak::{InterferenceReport, ShaperTimelineReport};
 use dg_dram::power::{EnergyCounter, PowerParams};
+use dg_prof::{EngineTelemetry, HistSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Run-level identification and global counters.
@@ -42,6 +43,9 @@ pub struct CoreReport {
     pub ipc: f64,
     /// Whether the core drained its whole trace.
     pub finished: bool,
+    /// HDR histogram of the gaps between instruction-completion events on
+    /// this core (empty for cores that do not record one).
+    pub completion: HistSnapshot,
 }
 
 /// Snapshot of a latency histogram: bucket width plus the non-empty buckets.
@@ -78,6 +82,10 @@ pub struct DomainReport {
     pub latency_p99: Option<u64>,
     /// The full latency distribution.
     pub latency_hist: HistogramSnapshot,
+    /// HDR (log-bucketed) latency distribution with p50/p90/p99/p999: the
+    /// linear `latency_hist` saturates at 10k cycles, this one covers the
+    /// full range with a 3.125% relative error bound.
+    pub latency_hdr: HistSnapshot,
 }
 
 /// Per-shaper conformance statistics.
@@ -198,6 +206,11 @@ pub struct RunReport {
     pub intervals: Vec<IntervalSample>,
     /// Trace-recording counters.
     pub trace: TraceSummary,
+    /// Event-engine telemetry (warp distances, skip efficiency, scan
+    /// backoff). Describes how the engine covered simulated time, not the
+    /// simulation outcome: it legitimately differs between the naive and
+    /// event-driven engines, so cross-engine comparisons normalize it.
+    pub engine: EngineTelemetry,
 }
 
 impl RunReport {
@@ -210,6 +223,14 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_hist() -> HistSnapshot {
+        let mut h = dg_prof::LogHistogram::new();
+        for v in [40u64, 80, 80, 200, 400] {
+            h.record(v);
+        }
+        h.snapshot()
+    }
 
     fn sample_report() -> RunReport {
         RunReport {
@@ -226,6 +247,7 @@ mod tests {
                 cycles: 10_000,
                 ipc: 0.5,
                 finished: true,
+                completion: sample_hist(),
             }],
             domains: vec![DomainReport {
                 domain: 0,
@@ -242,6 +264,7 @@ mod tests {
                     nonzero: vec![(8, 90), (20, 10)],
                     total: 100,
                 },
+                latency_hdr: sample_hist(),
             }],
             shapers: vec![ShaperReport {
                 domain: 0,
@@ -303,6 +326,13 @@ mod tests {
                 events_recorded: 42,
                 events_dropped: 0,
             },
+            engine: {
+                let mut c = dg_prof::EngineCounters::default();
+                c.tick();
+                c.warp(100);
+                c.poll("mem");
+                c.snapshot()
+            },
         }
     }
 
@@ -331,6 +361,11 @@ mod tests {
             "\"shaper_timelines\"",
             "\"row_hits\"",
             "\"faw_stall_cycles\"",
+            "\"engine\"",
+            "\"skip_efficiency\"",
+            "\"latency_hdr\"",
+            "\"p999\"",
+            "\"completion\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

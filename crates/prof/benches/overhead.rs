@@ -1,0 +1,59 @@
+//! Criterion benches for the profiler's observer cost.
+//!
+//! The contract is that a *disabled* profiler adds ≈0 to the hot path: a
+//! `span()` call when no profile is running must cost no more than a few
+//! nanoseconds (one thread-local boolean load), and must be within noise
+//! of an empty loop body. The enabled path is benched too so regressions
+//! in the frame-stack bookkeeping are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_disabled_span(c: &mut Criterion) {
+    // Profiler off: this is the cost every simulator tick pays in normal
+    // (unprofiled) runs.
+    assert!(!dg_prof::is_enabled());
+    c.bench_function("prof/span_disabled", |b| {
+        b.iter(|| {
+            let g = dg_prof::span(black_box("tick"));
+            black_box(&g);
+        });
+    });
+
+    c.bench_function("prof/baseline_empty", |b| {
+        b.iter(|| {
+            black_box(0u64);
+        });
+    });
+}
+
+fn bench_enabled_span(c: &mut Criterion) {
+    c.bench_function("prof/span_enabled", |b| {
+        dg_prof::start();
+        b.iter(|| {
+            let g = dg_prof::span(black_box("tick"));
+            black_box(&g);
+        });
+        dg_prof::stop();
+    });
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    c.bench_function("prof/hist_record", |b| {
+        let mut h = dg_prof::LogHistogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 40));
+        });
+        black_box(h.count());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_span,
+    bench_enabled_span,
+    bench_histogram_record
+);
+criterion_main!(benches);

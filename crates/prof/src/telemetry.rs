@@ -1,0 +1,165 @@
+//! Event-engine telemetry counters.
+//!
+//! [`EngineCounters`] is the live, recording side held by the system loop;
+//! [`EngineTelemetry`] is the serializable snapshot embedded in
+//! `RunReport`. The counters only describe *how* the engine covered the
+//! simulated time — the simulation outcome is independent of them, but
+//! they legitimately differ between the naive and event-driven engines,
+//! so cross-engine byte comparisons must normalize this section.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{HistSnapshot, LogHistogram};
+
+/// Live engine counters, updated on the tick/warp path.
+#[derive(Debug, Clone, Default)]
+pub struct EngineCounters {
+    /// Ticks actually executed (quiescent cycles excluded).
+    pub ticks: u64,
+    /// Successful warps (at least one cycle skipped).
+    pub warps: u64,
+    /// Total cycles covered by warping instead of ticking.
+    pub warped_cycles: u64,
+    /// Distribution of warp lengths in cycles.
+    pub warp_distance: LogHistogram,
+    /// Quiescence scans that found no skippable gap.
+    pub failed_scans: u64,
+    /// Ticks where the scan was suppressed by the adaptive backoff.
+    pub backoff_suppressed: u64,
+    /// Largest backoff the failure streak reached.
+    pub max_backoff: u64,
+    /// Per-component `next_event_at` poll counts, in scan order.
+    pub polls: Vec<(&'static str, u64)>,
+}
+
+impl EngineCounters {
+    /// Records one executed tick.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+    }
+
+    /// Records a successful warp of `distance` cycles.
+    #[inline]
+    pub fn warp(&mut self, distance: u64) {
+        self.warps += 1;
+        self.warped_cycles += distance;
+        self.warp_distance.record(distance);
+    }
+
+    /// Records one `next_event_at` poll of `component`.
+    #[inline]
+    pub fn poll(&mut self, component: &'static str) {
+        match self.polls.iter_mut().find(|(n, _)| *n == component) {
+            Some((_, c)) => *c += 1,
+            None => self.polls.push((component, 1)),
+        }
+    }
+
+    /// Freezes the counters into the report snapshot.
+    pub fn snapshot(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            ticks: self.ticks,
+            warps: self.warps,
+            warped_cycles: self.warped_cycles,
+            skip_efficiency: if self.ticks + self.warped_cycles == 0 {
+                0.0
+            } else {
+                self.warped_cycles as f64 / (self.ticks + self.warped_cycles) as f64
+            },
+            warp_distance: self.warp_distance.snapshot(),
+            failed_scans: self.failed_scans,
+            backoff_suppressed: self.backoff_suppressed,
+            max_backoff: self.max_backoff,
+            polls: self
+                .polls
+                .iter()
+                .map(|&(component, count)| ComponentPolls {
+                    component: component.to_string(),
+                    count,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `next_event_at` poll count for one component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentPolls {
+    /// Component name as used in the quiescence scan.
+    pub component: String,
+    /// Number of polls over the run.
+    pub count: u64,
+}
+
+/// Serializable engine telemetry, embedded in `RunReport`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineTelemetry {
+    /// Ticks actually executed.
+    pub ticks: u64,
+    /// Successful warps.
+    pub warps: u64,
+    /// Cycles covered by warping.
+    pub warped_cycles: u64,
+    /// `warped_cycles / (ticks + warped_cycles)`: fraction of simulated
+    /// time covered without ticking. 0 under the naive engine.
+    pub skip_efficiency: f64,
+    /// Histogram of warp lengths.
+    pub warp_distance: HistSnapshot,
+    /// Quiescence scans that found nothing to skip.
+    pub failed_scans: u64,
+    /// Ticks where the adaptive backoff suppressed the scan.
+    pub backoff_suppressed: u64,
+    /// Largest backoff reached.
+    pub max_backoff: u64,
+    /// Per-component poll counts.
+    pub polls: Vec<ComponentPolls>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_efficiency_ratio() {
+        let mut c = EngineCounters::default();
+        for _ in 0..25 {
+            c.tick();
+        }
+        c.warp(50);
+        c.warp(25);
+        c.poll("mem");
+        c.poll("mem");
+        c.poll("core0");
+        let t = c.snapshot();
+        assert_eq!(t.ticks, 25);
+        assert_eq!(t.warps, 2);
+        assert_eq!(t.warped_cycles, 75);
+        assert!((t.skip_efficiency - 0.75).abs() < 1e-12);
+        assert_eq!(t.warp_distance.count, 2);
+        assert_eq!(t.warp_distance.max, 50);
+        assert_eq!(
+            t.polls,
+            vec![
+                ComponentPolls {
+                    component: "mem".into(),
+                    count: 2
+                },
+                ComponentPolls {
+                    component: "core0".into(),
+                    count: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_counters_snapshot() {
+        let t = EngineCounters::default().snapshot();
+        assert_eq!(t.skip_efficiency, 0.0);
+        assert!(t.polls.is_empty());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: EngineTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -4,19 +4,26 @@
 //! dg-run spec.toml [--jobs N] [--journal PATH] [--resume PATH]
 //!                  [--retries N] [--backoff-ms N] [--escalation N]
 //!                  [--timeout-s N] [--out PATH] [--leak PATH]
-//!                  [--print-jobs] [--quiet]
+//!                  [--profile PATH] [--print-jobs] [--quiet]
 //! ```
 //!
 //! Exits nonzero if any job fails, printing the failing job ids with
 //! their errors. The merged report (`--out`, default
-//! `results/<name>.json`) contains only deterministic fields and is
-//! byte-identical for any `--jobs` value and across kill/`--resume`
-//! cycles. `--leak PATH` forces the covert-channel leakage probe on for
-//! every job, writes the merged leakage artifact to PATH, and prints the
-//! defense leaderboard. See EXPERIMENTS.md for the spec format.
+//! `results/<name>.json`) contains only deterministic fields — including
+//! the per-defense HDR latency leaderboard — and is byte-identical for
+//! any `--jobs` value and across kill/`--resume` cycles. `--leak PATH`
+//! forces the covert-channel leakage probe on for every job, writes the
+//! merged leakage artifact to PATH, and prints the defense leaderboard.
+//! `--profile PATH` records a host-time span profile of every job, writes
+//! the profile artifact to PATH plus a collapsed-stack `.folded` sibling
+//! (flamegraph input), and prints the host-cost leaderboard; host time is
+//! machine-dependent, so none of it enters the merged report. See
+//! EXPERIMENTS.md for the spec format.
 
 use dg_runner::{
-    effective_jobs, leak_leaderboard, leak_report_json, leak_table, ExperimentSpec, RunnerConfig,
+    effective_jobs, host_cost_leaderboard, host_cost_table, latency_leaderboard, latency_table,
+    leak_leaderboard, leak_report_json, leak_table, merged_profile, merged_report_with_latency,
+    profile_report_json, ExperimentSpec, RunnerConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +34,7 @@ struct Args {
     cfg: RunnerConfig,
     out: Option<PathBuf>,
     leak: Option<PathBuf>,
+    profile: Option<PathBuf>,
     print_jobs: bool,
 }
 
@@ -34,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dg-run <spec.toml|spec.json> [--jobs N] [--journal PATH] [--resume PATH]\n\
          \x20              [--retries N] [--backoff-ms N] [--escalation N] [--timeout-s N]\n\
-         \x20              [--out PATH] [--leak PATH] [--print-jobs] [--quiet]"
+         \x20              [--out PATH] [--leak PATH] [--profile PATH] [--print-jobs] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -45,6 +53,7 @@ fn parse_args() -> Args {
     let mut jobs_flag = None;
     let mut out = None;
     let mut leak = None;
+    let mut profile = None;
     let mut print_jobs = false;
 
     let mut it = std::env::args().skip(1);
@@ -83,6 +92,7 @@ fn parse_args() -> Args {
             },
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--leak" => leak = Some(PathBuf::from(value("--leak"))),
+            "--profile" => profile = Some(PathBuf::from(value("--profile"))),
             "--print-jobs" => print_jobs = true,
             "--quiet" => cfg.verbose = false,
             "--help" | "-h" => usage(),
@@ -101,8 +111,19 @@ fn parse_args() -> Args {
         cfg,
         out,
         leak,
+        profile,
         print_jobs,
     }
+}
+
+fn ensure_parent(path: &std::path::Path) -> bool {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return false;
+        }
+    }
+    true
 }
 
 fn main() -> ExitCode {
@@ -117,6 +138,9 @@ fn main() -> ExitCode {
     };
     if args.leak.is_some() {
         spec.leak = true;
+    }
+    if args.profile.is_some() {
+        spec.profile = true;
     }
 
     if args.print_jobs {
@@ -146,13 +170,10 @@ fn main() -> ExitCode {
     let out_path = args
         .out
         .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.name)));
-    if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: creating {}: {e}", dir.display());
-            return ExitCode::from(2);
-        }
+    if !ensure_parent(&out_path) {
+        return ExitCode::from(2);
     }
-    let report = outcome.merged_report_json(&spec.name);
+    let report = merged_report_with_latency(&spec.name, &outcome);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("error: writing {}: {e}", out_path.display());
         return ExitCode::from(2);
@@ -165,14 +186,43 @@ fn main() -> ExitCode {
             outcome.progress.retries,
             outcome.progress.jobs_per_sec
         );
+        print!("{}", latency_table(&latency_leaderboard(&outcome)));
+    }
+
+    if let Some(profile_path) = &args.profile {
+        if !ensure_parent(profile_path) {
+            return ExitCode::from(2);
+        }
+        let profiles = dg_prof::collector::drain();
+        let profile_json = profile_report_json(&spec.name, &profiles);
+        if let Err(e) = std::fs::write(profile_path, &profile_json) {
+            eprintln!("error: writing {}: {e}", profile_path.display());
+            return ExitCode::from(2);
+        }
+        let folded_path = profile_path.with_extension("folded");
+        let folded = merged_profile(&profiles)
+            .map(|p| p.collapsed())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(&folded_path, &folded) {
+            eprintln!("error: writing {}: {e}", folded_path.display());
+            return ExitCode::from(2);
+        }
+        print!("{}", host_cost_table(&host_cost_leaderboard(&profiles)));
+        if args.cfg.verbose {
+            eprintln!(
+                "dg-run: wrote host profile {} (+ {})",
+                profile_path.display(),
+                folded_path.display()
+            );
+            if profiles.is_empty() {
+                eprintln!("dg-run: note: no profiles collected (dg-prof feature disabled?)");
+            }
+        }
     }
 
     if let Some(leak_path) = &args.leak {
-        if let Some(dir) = leak_path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: creating {}: {e}", dir.display());
-                return ExitCode::from(2);
-            }
+        if !ensure_parent(leak_path) {
+            return ExitCode::from(2);
         }
         let leak_json = leak_report_json(&spec.name, &outcome);
         if let Err(e) = std::fs::write(leak_path, &leak_json) {

@@ -136,6 +136,7 @@ mod tests {
                 cores: vec![],
                 bandwidth_gbps: vec![],
                 total_cycles: 1,
+                latency: vec![],
                 leakage: Some(LeakSummary {
                     mean_capacity_bps: mean,
                     peak_capacity_bps: peak,

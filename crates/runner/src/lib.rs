@@ -17,6 +17,10 @@
 //!   for `dg-run`.
 //! * **Material** ([`scale`], [`material`]) — workload scales and trace
 //!   builders shared with `dg-bench`.
+//! * **Leaderboards** ([`leak`], [`latency`], [`profile`]) — sweep-level
+//!   aggregation: covert-channel capacity, merged HDR latency percentiles
+//!   (deterministic, embedded in the report), and host-time cost per
+//!   defense (nondeterministic, standalone artifact).
 //!
 //! The invariant the whole crate is built around: a job's result is a
 //! pure function of its stable id and parameters. Scheduling order,
@@ -26,9 +30,11 @@
 
 pub mod job;
 pub mod journal;
+pub mod latency;
 pub mod leak;
 pub mod material;
 pub mod pool;
+pub mod profile;
 pub mod runner;
 pub mod scale;
 pub mod spec;
@@ -36,8 +42,12 @@ pub mod toml;
 
 pub use job::{attempt_budget, job_seed, JobCtx, JobDesc, JobRecord};
 pub use journal::{replay_journal, JournalEntry, JournalReplay, JournalWriter};
+pub use latency::{latency_leaderboard, latency_table, merged_report_with_latency, LatencyRow};
 pub use leak::{leak_leaderboard, leak_report_json, leak_table, LeakRow};
 pub use pool::{effective_jobs, run_work_stealing};
+pub use profile::{
+    host_cost_leaderboard, host_cost_table, merged_profile, profile_report_json, HostCostRow,
+};
 pub use runner::{run_sweep, RunnerConfig, SweepOutcome};
 pub use scale::Scale;
 pub use spec::{execute_job, ColocationJob, ExperimentSpec, GridSpec, OverrideSpec, VictimKind};

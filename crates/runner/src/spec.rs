@@ -140,6 +140,11 @@ pub struct ExperimentSpec {
     /// Whether each job also runs the covert-channel leakage probe
     /// (spec key `leak = true`, or forced by `dg-run --leak`).
     pub leak: bool,
+    /// Whether each job records a host-time span profile (spec key
+    /// `profile = true`, or forced by `dg-run --profile`). Profiles are
+    /// host-dependent, so they ship in a standalone artifact, never in the
+    /// deterministic merged report.
+    pub profile: bool,
 }
 
 fn opt<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -230,6 +235,11 @@ impl Deserialize for ExperimentSpec {
             None => false,
         };
 
+        let profile = match opt(m, "profile") {
+            Some(v) => bool::from_value(v)?,
+            None => false,
+        };
+
         let spec = ExperimentSpec {
             name,
             scale,
@@ -241,6 +251,7 @@ impl Deserialize for ExperimentSpec {
             },
             overrides,
             leak,
+            profile,
         };
         spec.validate().map_err(DeError::custom)?;
         Ok(spec)
@@ -345,6 +356,7 @@ impl ExperimentSpec {
                             defense: defense.clone(),
                             scale,
                             leak: self.leak,
+                            profile: self.profile,
                         });
                     }
                 }
@@ -381,6 +393,9 @@ pub struct ColocationJob {
     /// Whether to run the covert-channel leakage probe after the
     /// performance run.
     pub leak: bool,
+    /// Whether to record a host-time span profile of the run and submit it
+    /// to the process-global [`dg_prof::collector`].
+    pub profile: bool,
 }
 
 impl JobDesc for ColocationJob {
@@ -426,6 +441,7 @@ fn leak_probe_config() -> CovertConfig {
 /// [`LeakReport::merged`](dg_obs::LeakReport::merged)); the quoted decode
 /// error rate is the mean across repetitions.
 fn run_leak_probe(cfg: &SystemConfig, kind: &MemoryKind, seed: u64) -> LeakSummary {
+    let _prof = dg_prof::span("leak_probe");
     let probe = leak_probe_config();
     let mut reports = Vec::new();
     let mut error_sum = 0.0;
@@ -458,9 +474,34 @@ fn run_leak_probe(cfg: &SystemConfig, kind: &MemoryKind, seed: u64) -> LeakSumma
 /// [`SimError::Deadline`] when the (escalated) budget is too small —
 /// retried by the runner — or any other simulation error.
 pub fn execute_job(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult, SimError> {
+    if !job.profile {
+        return execute_job_inner(job, ctx);
+    }
+    // The span profiler is thread-local, so concurrent worker threads each
+    // record their own tree. Stop unconditionally — a dangling frame stack
+    // would bleed into the next job scheduled on this worker — but only
+    // submit profiles of successful attempts (a Deadline retry would
+    // otherwise double-count the job).
+    dg_prof::start();
+    let result = execute_job_inner(job, ctx);
+    let report = dg_prof::stop();
+    if result.is_ok() {
+        if let Some(report) = report {
+            dg_prof::collector::submit(&job.id, report);
+        }
+    }
+    result
+}
+
+fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult, SimError> {
     let cfg = SystemConfig::two_core();
-    let victim = job.victim.trace(&job.scale, job.secret);
-    let corunner = spec_trace_seeded(&job.scale, &job.corunner, 1, ctx.seed);
+    let (victim, corunner) = {
+        let _prof = dg_prof::span("workload");
+        (
+            job.victim.trace(&job.scale, job.secret),
+            spec_trace_seeded(&job.scale, &job.corunner, 1, ctx.seed),
+        )
+    };
     let kind = memory_kind(&job.defense, job.victim)
         .ok_or_else(|| SimError::InvalidConfig(format!("unknown defense `{}`", job.defense)))?;
     let budget = ctx.budget(job.scale.budget);

@@ -2,7 +2,10 @@
 //! kill/resume crash safety, exercised through a real (tiny) experiment
 //! spec running actual simulations.
 
-use dg_runner::{ExperimentSpec, RunnerConfig};
+use dg_runner::{
+    host_cost_leaderboard, latency_leaderboard, merged_profile, merged_report_with_latency,
+    ExperimentSpec, RunnerConfig,
+};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -53,6 +56,81 @@ fn merged_report_is_independent_of_worker_count() {
         seq.merged_report_json(&spec.name),
         par.merged_report_json(&spec.name),
         "reports must be byte-identical across --jobs values"
+    );
+    // The canonical dg-run report embeds the per-defense latency
+    // leaderboard; histogram merging is bucket-wise and associative, so it
+    // must stay byte-identical too.
+    assert_eq!(
+        merged_report_with_latency(&spec.name, &seq),
+        merged_report_with_latency(&spec.name, &par),
+        "latency-merged reports must be byte-identical across --jobs values"
+    );
+
+    let rows = latency_leaderboard(&seq);
+    assert_eq!(rows.len(), 2, "one latency row per defense");
+    for row in &rows {
+        assert!(row.requests > 0, "{}: empty merged histogram", row.defense);
+        assert!(row.p50 > 0, "{}: p50 missing", row.defense);
+        assert!(
+            row.p50 <= row.p99 && row.p99 <= row.p999 && row.p999 <= row.max,
+            "{}: percentiles must be monotone",
+            row.defense
+        );
+    }
+}
+
+/// Tentpole: a profiled sweep collects one host-time attribution tree per
+/// job, dominated by known spans, without perturbing the simulation.
+#[test]
+fn profiled_sweep_attributes_host_time_per_defense() {
+    // Unique sweep name: the profile collector is process-global and this
+    // is the only test that drains it.
+    let profiled = ExperimentSpec::from_toml_str(&format!("profile = true\n{SPEC}"))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert!(profiled.expand().iter().all(|j| j.profile));
+    let out = profiled.run(&quiet(2)).unwrap();
+    assert_eq!(out.progress.succeeded, 4);
+
+    let profiles: Vec<(String, dg_prof::ProfileReport)> = dg_prof::collector::drain()
+        .into_iter()
+        .filter(|(id, _)| id.starts_with("it/"))
+        .collect();
+    // Detect whether dg-prof was built with its `prof` feature; without it
+    // the collector legitimately stays empty.
+    dg_prof::start();
+    let prof_compiled_in = dg_prof::is_enabled();
+    dg_prof::stop();
+    if !prof_compiled_in {
+        assert!(profiles.is_empty());
+        return;
+    }
+    assert_eq!(profiles.len(), 4, "one profile per successful job");
+    for (id, p) in &profiles {
+        assert!(p.total_ns > 0, "{id}: empty profile");
+        assert!(
+            p.coverage >= 0.9,
+            "{id}: only {:.2} of wall time attributed",
+            p.coverage
+        );
+        let top = p.top_self();
+        assert!(
+            top.iter().take(3).any(|(name, _)| name == "sim"),
+            "{id}: sim phase missing from top-3 self time: {top:?}"
+        );
+    }
+
+    let rows = host_cost_leaderboard(&profiles);
+    assert_eq!(rows.len(), 2, "one host-cost row per defense");
+    let folded = merged_profile(&profiles).unwrap().collapsed();
+    assert!(folded.contains("run;sim"), "collapsed stacks: {folded}");
+
+    // Profiling must not leak into the deterministic report: an
+    // unprofiled run of the same spec merges identically.
+    let unprofiled = spec().run(&quiet(2)).unwrap();
+    assert_eq!(
+        merged_report_with_latency("it", &out),
+        merged_report_with_latency("it", &unprofiled),
+        "profiling must not perturb the merged report"
     );
 }
 

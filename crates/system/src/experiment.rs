@@ -2,6 +2,7 @@
 
 use dg_cpu::MemTrace;
 use dg_obs::{Event, LeakSummary, RunReport, Tracer};
+use dg_prof::HistSnapshot;
 use dg_sim::clock::Cycle;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
@@ -33,6 +34,10 @@ pub struct ColocationResult {
     pub bandwidth_gbps: Vec<f64>,
     /// Total cycles simulated.
     pub total_cycles: Cycle,
+    /// Per-domain HDR snapshots of simulated memory latency (real traffic,
+    /// arrival → completion), indexed like `cores`. Deterministic, so safe
+    /// to merge across jobs in sweep reports.
+    pub latency: Vec<HistSnapshot>,
     /// Covert-channel leakage summary, filled in by harnesses that run a
     /// leakage probe alongside the performance run (`None` otherwise).
     pub leakage: Option<LeakSummary>,
@@ -102,8 +107,15 @@ pub fn run_colocation_observed(
     name: &str,
     obs: &ObsConfig,
 ) -> Result<(ColocationResult, RunReport, Vec<Event>), SimError> {
-    let (mut sys, n) = build_system(cfg, traces, kind, obs);
-    sys.run_until_core_finished(0, budget)?;
+    let (mut sys, n) = {
+        let _prof = dg_prof::span("setup");
+        build_system(cfg, traces, kind, obs)
+    };
+    {
+        let _prof = dg_prof::span("sim");
+        sys.run_until_core_finished(0, budget)?;
+    }
+    let _prof = dg_prof::span("report");
     let result = collect_results(cfg, &mut sys, n);
     let report = sys.report(name);
     let events = sys.tracer().snapshot();
@@ -132,27 +144,34 @@ pub fn run_colocation_supervised(
     chunk: Cycle,
     should_abort: &mut dyn FnMut() -> bool,
 ) -> Result<ColocationResult, SimError> {
-    let (mut sys, n) = build_system(cfg, traces, kind, &ObsConfig::default());
+    let (mut sys, n) = {
+        let _prof = dg_prof::span("setup");
+        build_system(cfg, traces, kind, &ObsConfig::default())
+    };
     let chunk = chunk.max(1);
     let mut spent: Cycle = 0;
-    loop {
-        if should_abort() {
-            return Err(SimError::Aborted(format!(
-                "supervisor cancelled after {spent} cycles"
-            )));
-        }
-        let step = chunk.min(budget - spent);
-        match sys.run_until_core_finished(0, step) {
-            Ok(_) => break,
-            Err(SimError::Deadline { .. }) => {
-                spent += step;
-                if spent >= budget {
-                    return Err(SimError::Deadline { budget });
-                }
+    {
+        let _prof = dg_prof::span("sim");
+        loop {
+            if should_abort() {
+                return Err(SimError::Aborted(format!(
+                    "supervisor cancelled after {spent} cycles"
+                )));
             }
-            Err(e) => return Err(e),
+            let step = chunk.min(budget - spent);
+            match sys.run_until_core_finished(0, step) {
+                Ok(_) => break,
+                Err(SimError::Deadline { .. }) => {
+                    spent += step;
+                    if spent >= budget {
+                        return Err(SimError::Deadline { budget });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
+    let _prof = dg_prof::span("report");
     Ok(collect_results(cfg, &mut sys, n))
 }
 
@@ -207,11 +226,15 @@ fn collect_results(
     let bandwidth_gbps = (0..n)
         .map(|i| stats.domain(DomainId(i as u16)).bandwidth.gbps(clock_hz))
         .collect();
+    let latency = (0..n)
+        .map(|i| stats.domain(DomainId(i as u16)).latency_hdr.snapshot())
+        .collect();
 
     ColocationResult {
         cores,
         bandwidth_gbps,
         total_cycles: end,
+        latency,
         leakage: None,
     }
 }

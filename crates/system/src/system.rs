@@ -8,10 +8,21 @@ use dg_obs::{
     BankReport, CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot,
     IntervalSampler, RunMeta, RunReport, TraceSummary, Tracer,
 };
+use dg_prof::EngineCounters;
 use dg_sim::clock::{earliest_event, Cycle};
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
 use dg_sim::types::MemResponse;
+
+/// Static poll-count labels for the quiescence scan (one per core index;
+/// larger systems share the last label rather than allocating).
+const CORE_POLL_NAMES: [&str; 8] = [
+    "core0", "core1", "core2", "core3", "core4", "core5", "core6", "core7",
+];
+
+fn core_poll_name(i: usize) -> &'static str {
+    CORE_POLL_NAMES.get(i).copied().unwrap_or("core8plus")
+}
 
 /// A complete simulated system.
 ///
@@ -43,6 +54,9 @@ pub struct System {
     /// so steadily-saturated runs scan rarely, while runs that alternate
     /// activity and idleness keep trying nearly every tick.
     warp_fail_streak: Cycle,
+    /// Engine telemetry: how the engine covered simulated time (ticks vs
+    /// warps, scan outcomes, poll counts). Purely observational.
+    engine: EngineCounters,
 }
 
 impl System {
@@ -76,6 +90,7 @@ impl System {
             bytes_buf: Vec::new(),
             warp_backoff: 0,
             warp_fail_streak: 0,
+            engine: EngineCounters::default(),
         }
     }
 
@@ -189,19 +204,26 @@ impl System {
 
     /// Advances the whole system one CPU cycle.
     pub fn tick(&mut self) {
+        self.engine.tick();
         let now = self.now;
         // Memory first: completions this cycle unblock cores this cycle.
-        self.resp_buf.clear();
-        self.mem.tick_into(now, &mut self.resp_buf);
-        for i in 0..self.resp_buf.len() {
-            let resp = self.resp_buf[i];
-            let idx = resp.domain.0 as usize;
-            if let Some(core) = self.cores.get_mut(idx) {
-                core.on_response(&resp, now);
+        {
+            let _prof = dg_prof::span("mem_tick");
+            self.resp_buf.clear();
+            self.mem.tick_into(now, &mut self.resp_buf);
+            for i in 0..self.resp_buf.len() {
+                let resp = self.resp_buf[i];
+                let idx = resp.domain.0 as usize;
+                if let Some(core) = self.cores.get_mut(idx) {
+                    core.on_response(&resp, now);
+                }
             }
         }
-        for core in &mut self.cores {
-            core.tick(now, &mut self.l3, self.mem.as_mut());
+        {
+            let _prof = dg_prof::span("core_tick");
+            for core in &mut self.cores {
+                core.tick(now, &mut self.l3, self.mem.as_mut());
+            }
         }
         self.now += 1;
         if self.sampler.as_ref().is_some_and(|s| s.due(self.now)) {
@@ -222,10 +244,13 @@ impl System {
     /// The earliest future cycle at which any component can change state,
     /// clamped to `[now, limit]`. `limit` is returned when every component
     /// is fully passive (waiting on input that will never come).
-    fn next_event(&self, limit: Cycle) -> Cycle {
+    fn next_event(&mut self, limit: Cycle) -> Cycle {
+        let _prof = dg_prof::span("quiescence_scan");
         let now = self.now;
+        self.engine.poll("mem");
         let mut ev = self.mem.next_event_at(now);
-        for core in &self.cores {
+        for (i, core) in self.cores.iter().enumerate() {
+            self.engine.poll(core_poll_name(i));
             ev = earliest_event(ev, core.next_event_at(now));
         }
         ev.map_or(limit, |t| t.clamp(now, limit))
@@ -238,15 +263,19 @@ impl System {
     fn maybe_warp(&mut self, limit: Cycle) {
         if self.warp_backoff > 0 {
             self.warp_backoff -= 1;
+            self.engine.backoff_suppressed += 1;
             return;
         }
         let target = self.next_event(limit);
         if target > self.now {
+            self.engine.warp(target - self.now);
             self.warp_to(target);
             self.warp_fail_streak = 0;
         } else {
+            self.engine.failed_scans += 1;
             self.warp_fail_streak = (self.warp_fail_streak + 1).min(31);
             self.warp_backoff = self.warp_fail_streak;
+            self.engine.max_backoff = self.engine.max_backoff.max(self.warp_backoff);
         }
     }
 
@@ -259,6 +288,7 @@ impl System {
         if target <= self.now {
             return;
         }
+        let _prof = dg_prof::span("sampler_replay");
         if self.sampler.is_some() {
             self.refresh_sampler_inputs();
             let Self {
@@ -361,6 +391,7 @@ impl System {
                     cycles,
                     ipc: c.instructions_retired() as f64 / cycles as f64,
                     finished: c.finished(),
+                    completion: c.completion_snapshot(),
                 }
             })
             .collect();
@@ -394,6 +425,7 @@ impl System {
                         .collect(),
                     total: d.latency.total(),
                 },
+                latency_hdr: d.latency_hdr.snapshot(),
             })
             .collect();
 
@@ -438,6 +470,7 @@ impl System {
                 events_recorded: events.len() as u64,
                 events_dropped: self.tracer.dropped(),
             },
+            engine: self.engine.snapshot(),
         }
     }
 }
