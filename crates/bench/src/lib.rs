@@ -63,6 +63,9 @@ pub fn parse_args() -> Scale {
 ///   collapsed-stack `.folded` sibling for flamegraphs);
 /// * `--jobs N` — worker threads for the sweep (falls back to the
 ///   `DG_JOBS` environment variable, then host parallelism);
+/// * `--shards N` — run on the conservative-PDES sharded runtime with N
+///   shards (falls back to the `DG_SHARDS` environment variable), on
+///   harnesses that support it;
 /// * `--journal <path>` — append per-job checkpoints there;
 /// * `--resume <path>` — skip jobs already completed in that journal
 ///   (typically the same path as `--journal`);
@@ -83,6 +86,9 @@ pub struct HarnessArgs {
     pub profile: Option<PathBuf>,
     /// Explicit `--jobs` worker-count override.
     pub jobs: Option<usize>,
+    /// Shard count from `--shards` (default: the `DG_SHARDS` environment
+    /// variable; `None` = the classic single-threaded system).
+    pub shards: Option<usize>,
     /// Journal path from `--journal`.
     pub journal: Option<PathBuf>,
     /// Resume journal path from `--resume`.
@@ -218,6 +224,13 @@ pub fn parse_harness_args() -> HarnessArgs {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match value("--shards").parse::<usize>() {
+                Ok(n) if n > 0 => out.shards = Some(n),
+                _ => {
+                    eprintln!("error: --shards must be a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--retries" => match value("--retries").parse::<u32>() {
                 Ok(n) => out.retries = Some(n),
                 Err(_) => {
@@ -227,6 +240,9 @@ pub fn parse_harness_args() -> HarnessArgs {
             },
             _ => {}
         }
+    }
+    if out.shards.is_none() {
+        out.shards = dg_shard::shards_from_env();
     }
     if out.profile.is_some() {
         dg_prof::start();

@@ -103,6 +103,19 @@ impl EnergyCounter {
         self.refreshes += 1;
     }
 
+    /// Merges another counter's activity into this one. `cycles` is *not*
+    /// summed: parallel channels cover the same wall-clock window, so the
+    /// caller re-applies [`EnergyCounter::set_cycles`] after merging.
+    pub fn merge(&mut self, other: &EnergyCounter) {
+        self.real_activations += other.real_activations;
+        self.fake_activations += other.fake_activations;
+        self.real_reads += other.real_reads;
+        self.fake_reads += other.fake_reads;
+        self.real_writes += other.real_writes;
+        self.fake_writes += other.fake_writes;
+        self.refreshes += other.refreshes;
+    }
+
     /// Sets the elapsed cycles for background-energy accounting.
     pub fn set_cycles(&mut self, cycles: Cycle) {
         self.cycles = cycles;

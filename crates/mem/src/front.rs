@@ -52,6 +52,13 @@ pub trait MemorySubsystem: Send {
     /// Mutable statistics access (used to finalize measurement windows).
     fn stats_mut(&mut self) -> &mut MemStats;
 
+    /// Re-derives any cached aggregate statistics from nested components.
+    /// Multi-channel assemblies keep a merged [`MemStats`] view that goes
+    /// stale as channels tick; callers that read [`stats`](Self::stats)
+    /// mid-run (e.g. interval samplers) refresh first. Single-path
+    /// subsystems have nothing cached and ignore it.
+    fn refresh_stats(&mut self) {}
+
     /// Free request slots at the acceptance boundary (for flow control).
     fn free_slots(&self) -> usize;
 
@@ -324,6 +331,10 @@ impl<M: MemorySubsystem> MemorySubsystem for ShapedMemory<M> {
 
     fn stats_mut(&mut self) -> &mut MemStats {
         self.inner.stats_mut()
+    }
+
+    fn refresh_stats(&mut self) {
+        self.inner.refresh_stats();
     }
 
     fn free_slots(&self) -> usize {

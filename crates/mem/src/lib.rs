@@ -35,10 +35,12 @@
 //! assert_eq!(done[0].id, req.id);
 //! ```
 
+pub mod channel;
 pub mod controller;
 pub mod front;
 pub mod stats;
 
+pub use channel::{merge_interference, ChannelMap, MultiChannelMemory};
 pub use controller::{MemoryController, SchedPolicy};
 pub use front::{DomainShaper, MemorySubsystem, PassThrough, ShapedMemory};
 pub use stats::{BankStats, DomainStats, MemStats};

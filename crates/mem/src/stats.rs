@@ -54,6 +54,21 @@ impl DomainStats {
         (n > 0).then(|| self.latency_sum as f64 / n as f64)
     }
 
+    /// Merges another domain's counters into this one. Associative and
+    /// commutative, so per-channel and per-shard fragments can be combined
+    /// in any grouping. Bandwidth windows (`set_cycles`) are the caller's
+    /// responsibility: channels cover the same wall-clock window, so the
+    /// merged meter keeps this side's window until it is re-finalized.
+    pub fn merge(&mut self, other: &DomainStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.fakes += other.fakes;
+        self.bandwidth.transfer(other.bandwidth.bytes());
+        self.latency.merge(&other.latency);
+        self.latency_hdr.merge(&other.latency_hdr);
+        self.latency_sum += other.latency_sum;
+    }
+
     /// Records a completed transaction.
     pub fn record(&mut self, resp: &MemResponse, line_bytes: u64) {
         self.bandwidth.transfer(line_bytes);
@@ -159,6 +174,50 @@ impl MemStats {
         for d in &mut self.per_domain {
             d.bandwidth.set_cycles(cycles);
         }
+    }
+
+    /// Line size the statistics were created with.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Merges the statistics of several parallel memory channels into one
+    /// subsystem-level view. Domain counters are summed element-wise, bank
+    /// counters are concatenated channel-major (channel 0's banks first),
+    /// and energy activity is summed. The merged measurement window is
+    /// zero until the caller finalizes it with [`MemStats::set_cycles`]:
+    /// channels run over the *same* cycles, so windows must not be summed.
+    ///
+    /// The fold is associative: `merged(&[a, b, c])` equals merging
+    /// `merged(&[a, b])` with `c`, which is what lets per-shard report
+    /// fragments combine in any grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the parts disagree on domain count or
+    /// line size.
+    pub fn merged(parts: &[&MemStats]) -> MemStats {
+        let first = parts.first().expect("merged needs at least one part");
+        let mut out = MemStats::new(first.per_domain.len(), first.line_bytes);
+        for p in parts {
+            assert_eq!(
+                p.per_domain.len(),
+                out.per_domain.len(),
+                "channel stats disagree on domain count"
+            );
+            assert_eq!(
+                p.line_bytes, out.line_bytes,
+                "channel stats disagree on line size"
+            );
+            for (d, src) in out.per_domain.iter_mut().zip(&p.per_domain) {
+                d.merge(src);
+            }
+            out.banks.extend(p.banks.iter().copied());
+            out.refreshes += p.refreshes;
+            out.energy.merge(&p.energy);
+            out.dropped += p.dropped;
+        }
+        out
     }
 
     /// Aggregate bandwidth across all domains in bytes/cycle.

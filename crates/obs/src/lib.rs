@@ -38,7 +38,9 @@ pub mod progress;
 pub mod report;
 pub mod tracer;
 
-pub use chrome::{chrome_trace, chrome_trace_json};
+pub use chrome::{
+    chrome_trace, chrome_trace_json, chrome_trace_sharded, chrome_trace_sharded_json,
+};
 pub use event::{BankCmd, Event, EventKind};
 pub use interval::{IntervalSample, IntervalSampler};
 pub use leak::{

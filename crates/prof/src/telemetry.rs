@@ -56,6 +56,27 @@ impl EngineCounters {
         }
     }
 
+    /// Merges another engine's counters into this one: per-shard engines
+    /// each cover a slice of the same simulated time, so activity sums,
+    /// `max_backoff` takes the maximum, and poll counts merge by component
+    /// name (this side's order first, unseen components appended — merging
+    /// shard fragments in index order keeps the result deterministic).
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.ticks += other.ticks;
+        self.warps += other.warps;
+        self.warped_cycles += other.warped_cycles;
+        self.warp_distance.merge(&other.warp_distance);
+        self.failed_scans += other.failed_scans;
+        self.backoff_suppressed += other.backoff_suppressed;
+        self.max_backoff = self.max_backoff.max(other.max_backoff);
+        for &(component, count) in &other.polls {
+            match self.polls.iter_mut().find(|(n, _)| *n == component) {
+                Some((_, c)) => *c += count,
+                None => self.polls.push((component, count)),
+            }
+        }
+    }
+
     /// Freezes the counters into the report snapshot.
     pub fn snapshot(&self) -> EngineTelemetry {
         EngineTelemetry {

@@ -4,7 +4,7 @@
 //! dg-run spec.toml [--jobs N] [--journal PATH] [--resume PATH]
 //!                  [--retries N] [--backoff-ms N] [--escalation N]
 //!                  [--timeout-s N] [--out PATH] [--leak PATH]
-//!                  [--profile PATH] [--print-jobs] [--quiet]
+//!                  [--profile PATH] [--shards N] [--print-jobs] [--quiet]
 //! ```
 //!
 //! Exits nonzero if any job fails, printing the failing job ids with
@@ -17,8 +17,10 @@
 //! `--profile PATH` records a host-time span profile of every job, writes
 //! the profile artifact to PATH plus a collapsed-stack `.folded` sibling
 //! (flamegraph input), and prints the host-cost leaderboard; host time is
-//! machine-dependent, so none of it enters the merged report. See
-//! EXPERIMENTS.md for the spec format.
+//! machine-dependent, so none of it enters the merged report. `--shards N`
+//! (or the `DG_SHARDS` env var) runs every job on the conservative-PDES
+//! sharded runtime with N shards — results are byte-identical for any N.
+//! See EXPERIMENTS.md for the spec format.
 
 use dg_runner::{
     effective_jobs, host_cost_leaderboard, host_cost_table, latency_leaderboard, latency_table,
@@ -35,6 +37,7 @@ struct Args {
     out: Option<PathBuf>,
     leak: Option<PathBuf>,
     profile: Option<PathBuf>,
+    shards: Option<usize>,
     print_jobs: bool,
 }
 
@@ -42,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dg-run <spec.toml|spec.json> [--jobs N] [--journal PATH] [--resume PATH]\n\
          \x20              [--retries N] [--backoff-ms N] [--escalation N] [--timeout-s N]\n\
-         \x20              [--out PATH] [--leak PATH] [--profile PATH] [--print-jobs] [--quiet]"
+         \x20              [--out PATH] [--leak PATH] [--profile PATH] [--shards N]\n\
+         \x20              [--print-jobs] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -54,6 +58,7 @@ fn parse_args() -> Args {
     let mut out = None;
     let mut leak = None;
     let mut profile = None;
+    let mut shards = None;
     let mut print_jobs = false;
 
     let mut it = std::env::args().skip(1);
@@ -90,6 +95,13 @@ fn parse_args() -> Args {
                 Ok(s) => cfg.timeout = Some(Duration::from_secs(s)),
                 Err(_) => usage(),
             },
+            "--shards" => match value("--shards").parse::<usize>() {
+                Ok(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("error: --shards must be a positive integer");
+                    usage();
+                }
+            },
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--leak" => leak = Some(PathBuf::from(value("--leak"))),
             "--profile" => profile = Some(PathBuf::from(value("--profile"))),
@@ -112,6 +124,7 @@ fn parse_args() -> Args {
         out,
         leak,
         profile,
+        shards,
         print_jobs,
     }
 }
@@ -141,6 +154,9 @@ fn main() -> ExitCode {
     }
     if args.profile.is_some() {
         spec.profile = true;
+    }
+    if args.shards.is_some() {
+        spec.shards = args.shards;
     }
 
     if args.print_jobs {

@@ -145,6 +145,11 @@ pub struct ExperimentSpec {
     /// host-dependent, so they ship in a standalone artifact, never in the
     /// deterministic merged report.
     pub profile: bool,
+    /// Shard count for the conservative-PDES sharded runtime (spec key
+    /// `shards = N`, or forced by `dg-run --shards N`). `None` runs the
+    /// classic single-threaded [`dg_system::System`]; jobs may still be
+    /// switched onto the sharded path per-process via `DG_SHARDS`.
+    pub shards: Option<usize>,
 }
 
 fn opt<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -240,6 +245,11 @@ impl Deserialize for ExperimentSpec {
             None => false,
         };
 
+        let shards = match opt(m, "shards") {
+            Some(v) => Some(usize::from_value(v)?),
+            None => None,
+        };
+
         let spec = ExperimentSpec {
             name,
             scale,
@@ -252,6 +262,7 @@ impl Deserialize for ExperimentSpec {
             overrides,
             leak,
             profile,
+            shards,
         };
         spec.validate().map_err(DeError::custom)?;
         Ok(spec)
@@ -325,6 +336,9 @@ impl ExperimentSpec {
         if self.grid.defenses.is_empty() || self.grid.corunners.is_empty() {
             return Err("grid expands to zero jobs".to_string());
         }
+        if self.shards == Some(0) {
+            return Err("`shards` must be a positive integer".to_string());
+        }
         Ok(())
     }
 
@@ -357,6 +371,7 @@ impl ExperimentSpec {
                             scale,
                             leak: self.leak,
                             profile: self.profile,
+                            shards: self.shards,
                         });
                     }
                 }
@@ -396,6 +411,9 @@ pub struct ColocationJob {
     /// Whether to record a host-time span profile of the run and submit it
     /// to the process-global [`dg_prof::collector`].
     pub profile: bool,
+    /// Shard count for the sharded runtime (`None` = classic system, with
+    /// `DG_SHARDS` as a per-process fallback at execution time).
+    pub shards: Option<usize>,
 }
 
 impl JobDesc for ColocationJob {
@@ -505,7 +523,29 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
     let kind = memory_kind(&job.defense, job.victim)
         .ok_or_else(|| SimError::InvalidConfig(format!("unknown defense `{}`", job.defense)))?;
     let budget = ctx.budget(job.scale.budget);
-    let mut result = if ctx.deadline.is_some() {
+    // Spec/CLI shard counts win; `DG_SHARDS` switches a whole process onto
+    // the sharded runtime (the differential-oracle CI gate relies on this).
+    let shards = job.shards.or_else(dg_shard::shards_from_env);
+    let mut result = if let Some(shards) = shards {
+        if ctx.deadline.is_some() {
+            dg_shard::run_colocation_sharded_supervised(
+                &cfg,
+                vec![victim, corunner],
+                kind.clone(),
+                shards,
+                budget,
+                &mut || ctx.expired(),
+            )
+        } else {
+            dg_shard::run_colocation_sharded(
+                &cfg,
+                vec![victim, corunner],
+                kind.clone(),
+                shards,
+                budget,
+            )
+        }
+    } else if ctx.deadline.is_some() {
         run_colocation_supervised(
             &cfg,
             vec![victim, corunner],
@@ -608,6 +648,22 @@ budget = 1234
         let spec = ExperimentSpec::from_toml_str(&with_leak).unwrap();
         assert!(spec.leak);
         assert!(spec.expand().iter().all(|j| j.leak));
+    }
+
+    #[test]
+    fn shards_key_propagates_and_rejects_zero() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        assert_eq!(spec.shards, None);
+        assert!(spec.expand().iter().all(|j| j.shards.is_none()));
+
+        let with_shards = format!("shards = 4\n{SPEC}");
+        let spec = ExperimentSpec::from_toml_str(&with_shards).unwrap();
+        assert_eq!(spec.shards, Some(4));
+        assert!(spec.expand().iter().all(|j| j.shards == Some(4)));
+
+        let zero = format!("shards = 0\n{SPEC}");
+        let err = ExperimentSpec::from_toml_str(&zero).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 
     #[test]

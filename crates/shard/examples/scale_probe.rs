@@ -1,0 +1,211 @@
+//! Host-throughput probe for the sharded runtime: runs one scale-out
+//! scenario at configurable shard counts and prints wall-clock cost.
+//!
+//! ```text
+//! cargo run --release -p dg-shard --example scale_probe -- \
+//!     [--cores N] [--channels N] [--stream N] [--shards N] [--noc N] \
+//!     [--kind insecure|dagguise] [--protected N] [--l3 BYTES] \
+//!     [--mode stream|loop|compute|mix] [--parties N] \
+//!     [--compare S1,S2,...] [--reps N]
+//! ```
+//!
+//! With `--compare`, the listed shard counts run interleaved `--reps`
+//! times in one process and the per-count minima are reported — the only
+//! statistic that survives the multi-second noise regimes of shared
+//! hosts. Used to size the `scale64/sharded` benchmark scenario and to
+//! sanity check parallel scaling on a given host.
+
+use std::time::{Duration, Instant};
+
+use dg_cpu::MemTrace;
+use dg_rdag::template::RdagTemplate;
+use dg_shard::{ShardConfig, ShardedSystemBuilder};
+use dg_sim::config::SystemConfig;
+use dg_system::MemoryKind;
+
+fn stream_trace(n: u64, base: u64) -> MemTrace {
+    let mut t = MemTrace::new();
+    for i in 0..n {
+        t.load(base + i * 64 * 131, 0);
+    }
+    t
+}
+
+/// A cache-resident loop: after one warm-up pass the whole footprint hits
+/// in L1, so the core does per-tick compute with no memory traffic.
+fn loop_trace(n: u64, base: u64, lines: u64) -> MemTrace {
+    let mut t = MemTrace::new();
+    for i in 0..n {
+        t.load(base + (i % lines) * 64, 0);
+    }
+    t
+}
+
+#[derive(Clone)]
+struct Scenario {
+    cores: usize,
+    channels: u32,
+    stream: u64,
+    noc: u64,
+    kind_name: String,
+    protected: usize,
+    l3: u64,
+    mode: String,
+    parties: Option<usize>,
+    streamers: usize,
+}
+
+impl Scenario {
+    fn kind(&self) -> MemoryKind {
+        match self.kind_name.as_str() {
+            "insecure" => MemoryKind::Insecure,
+            // Protected cores are spread round-robin so every shard
+            // carries an equal share of the shaping work.
+            "dagguise" => MemoryKind::Dagguise {
+                protected: (0..self.cores)
+                    .map(|i| {
+                        (self.protected > 0 && i % (self.cores / self.protected.max(1)) == 0)
+                            .then(|| RdagTemplate::new(4, 100, 0.01))
+                    })
+                    .collect(),
+            },
+            other => panic!("unknown kind {other}"),
+        }
+    }
+
+    fn trace(&self, c: u64) -> MemTrace {
+        match self.mode.as_str() {
+            "stream" => stream_trace(self.stream, c << 30),
+            // Cache-resident loop over 64 lines (4 KiB footprint).
+            "loop" => loop_trace(self.stream, c << 30, 64),
+            // Compute-bound with periodic misses: each load is preceded
+            // by a burst of compute instructions (the paper's corunner
+            // profile), so the host-side working set stays tiny.
+            "compute" => {
+                let mut t = MemTrace::new();
+                for i in 0..self.stream {
+                    t.load((c << 30) + i * 64 * 131, 2000);
+                }
+                t
+            }
+            // Pure compute: no memory operations at all (engine ceiling).
+            "tail" => {
+                let mut t = MemTrace::new();
+                t.tail_instrs = self.stream * 8;
+                t
+            }
+            // `--streamers K` cores stream to DRAM (spread round-robin so
+            // every shard gets an equal share); the rest loop in-cache.
+            "mix" => {
+                let k = self.streamers.max(1) as u64;
+                let period = (self.cores as u64) / k;
+                if period > 0 && c.is_multiple_of(period) && c / period < k {
+                    stream_trace(self.stream, c << 30)
+                } else {
+                    loop_trace(self.stream, c << 30, 64)
+                }
+            }
+            other => panic!("unknown mode {other}"),
+        }
+    }
+
+    fn run(&self, shards: usize) -> (u64, Duration) {
+        let mut cfg = SystemConfig::scale_out(self.cores, self.channels);
+        cfg.cache.l1.size_bytes = 8 * 1024;
+        cfg.cache.l2.size_bytes = 16 * 1024;
+        cfg.cache.l3_per_core.size_bytes = self.l3;
+        let scfg = ShardConfig {
+            noc_latency: self.noc,
+            max_parties: self.parties,
+            ..ShardConfig::with_shards(shards)
+        };
+        let mut b = ShardedSystemBuilder::new(cfg, scfg);
+        for c in 0..self.cores as u64 {
+            b = b.trace_core(self.trace(c));
+        }
+        let mut sys = b.memory(self.kind()).build();
+        let t0 = Instant::now();
+        sys.run_until_finished(2_000_000_000)
+            .expect("probe workload must finish");
+        (sys.now(), t0.elapsed())
+    }
+}
+
+fn main() {
+    let mut sc = Scenario {
+        cores: 64,
+        channels: 4,
+        stream: 300,
+        noc: 256,
+        kind_name: String::from("insecure"),
+        protected: 0,
+        l3: 16 * 1024,
+        mode: String::from("stream"),
+        parties: None,
+        streamers: 8,
+    };
+    let mut shards = 1usize;
+    let mut compare: Vec<usize> = Vec::new();
+    let mut reps = 5usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().expect("flag value");
+        match a.as_str() {
+            "--cores" => sc.cores = value().parse().unwrap(),
+            "--channels" => sc.channels = value().parse().unwrap(),
+            "--stream" => sc.stream = value().parse().unwrap(),
+            "--shards" => shards = value().parse().unwrap(),
+            "--noc" => sc.noc = value().parse().unwrap(),
+            "--kind" => sc.kind_name = value(),
+            "--protected" => sc.protected = value().parse().unwrap(),
+            "--l3" => sc.l3 = value().parse().unwrap(),
+            "--mode" => sc.mode = value(),
+            "--parties" => sc.parties = Some(value().parse().unwrap()),
+            "--compare" => {
+                compare = value()
+                    .split(',')
+                    .map(|s| s.parse().expect("shard count"))
+                    .collect();
+            }
+            "--reps" => reps = value().parse().unwrap(),
+            "--streamers" => sc.streamers = value().parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    if compare.is_empty() {
+        let (cycles, dt) = sc.run(shards);
+        println!(
+            "cores={} channels={} stream={} shards={shards} noc={} mode={} \
+             kind={} protected={}: {cycles} cycles in {dt:?} ({:.3} s/Mc)",
+            sc.cores,
+            sc.channels,
+            sc.stream,
+            sc.noc,
+            sc.mode,
+            sc.kind_name,
+            sc.protected,
+            dt.as_secs_f64() / (cycles as f64 / 1e6)
+        );
+        return;
+    }
+
+    let mut mins: Vec<Duration> = vec![Duration::MAX; compare.len()];
+    for rep in 0..reps {
+        for (i, &s) in compare.iter().enumerate() {
+            let (cycles, dt) = sc.run(s);
+            mins[i] = mins[i].min(dt);
+            println!("rep {rep} shards={s}: {cycles} cycles in {dt:?}");
+        }
+    }
+    let base = mins[0];
+    for (i, &s) in compare.iter().enumerate() {
+        println!(
+            "shards={s}: min {:?}  speedup-vs-{} {:.2}",
+            mins[i],
+            compare[0],
+            base.as_secs_f64() / mins[i].as_secs_f64()
+        );
+    }
+}

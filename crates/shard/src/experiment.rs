@@ -1,0 +1,113 @@
+//! Sharded co-location entry points, mirroring `dg_system`'s experiment
+//! API so harnesses can switch paths on a shard count.
+
+use dg_cpu::MemTrace;
+use dg_obs::RunReport;
+use dg_sim::clock::Cycle;
+use dg_sim::config::SystemConfig;
+use dg_sim::error::SimError;
+use dg_system::{ColocationResult, MemoryKind};
+
+use crate::system::{ShardConfig, ShardedSystem, ShardedSystemBuilder};
+
+/// The shard count requested through the `DG_SHARDS` environment variable,
+/// `None` when unset. Presence selects the sharded path even for
+/// `DG_SHARDS=1` — that is the differential oracle against `DG_SHARDS=N`.
+///
+/// # Panics
+///
+/// Panics when set to something that is not a positive integer; a silently
+/// ignored typo would invalidate a sweep.
+pub fn shards_from_env() -> Option<usize> {
+    let raw = std::env::var("DG_SHARDS").ok()?;
+    let n: usize = raw
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("DG_SHARDS must be a positive integer, got {raw:?}"));
+    assert!(n >= 1, "DG_SHARDS must be at least 1");
+    Some(n)
+}
+
+fn build(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+) -> ShardedSystem {
+    let mut b = ShardedSystemBuilder::new(cfg.clone(), ShardConfig::with_shards(shards));
+    for t in traces {
+        b = b.trace_core(t);
+    }
+    b.memory(kind).build()
+}
+
+/// Runs the traces co-located on a sharded system until the primary core
+/// (domain 0) finishes, like `dg_system::run_colocation` but partitioned
+/// across `shards` threads.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadline`] when the budget is exhausted first.
+pub fn run_colocation_sharded(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+    budget: Cycle,
+) -> Result<ColocationResult, SimError> {
+    run_colocation_sharded_supervised(cfg, traces, kind, shards, budget, &mut || false)
+}
+
+/// [`run_colocation_sharded`] under cooperative supervision: the abort
+/// check runs at every superstep barrier (no chunking needed — barriers
+/// already bound the time between checks).
+///
+/// # Errors
+///
+/// Returns [`SimError::Aborted`] when `should_abort` reports true, and
+/// [`SimError::Deadline`] when the budget is exhausted first.
+pub fn run_colocation_sharded_supervised(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+    budget: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+) -> Result<ColocationResult, SimError> {
+    let mut sys = {
+        let _prof = dg_prof::span("setup");
+        build(cfg, traces, kind, shards)
+    };
+    {
+        let _prof = dg_prof::span("sim");
+        sys.run_until_core_finished_supervised(0, budget, should_abort)?;
+    }
+    let _prof = dg_prof::span("report");
+    Ok(sys.colocation_result())
+}
+
+/// [`run_colocation_sharded`] that also assembles the merged
+/// [`RunReport`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadline`] when the budget is exhausted first.
+pub fn run_colocation_sharded_observed(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+    budget: Cycle,
+    name: &str,
+) -> Result<(ColocationResult, RunReport), SimError> {
+    let mut sys = {
+        let _prof = dg_prof::span("setup");
+        build(cfg, traces, kind, shards)
+    };
+    {
+        let _prof = dg_prof::span("sim");
+        sys.run_until_core_finished(0, budget)?;
+    }
+    let _prof = dg_prof::span("report");
+    Ok((sys.colocation_result(), sys.report(name)))
+}

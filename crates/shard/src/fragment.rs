@@ -1,0 +1,140 @@
+//! Per-shard report fragments and their associative merge.
+//!
+//! Each shard snapshots only the components it owns; the merged fragment
+//! reconstructs the global view by sorting on global indices. The merge is
+//! associative and commutative (every field is a union keyed by global
+//! index, plus the summing [`EngineCounters::merge`]), so fragments can be
+//! combined in any grouping — the same contract dg-runner job reports rely
+//! on when sweeps are merged across resumed sessions.
+
+use dg_mem::MemStats;
+use dg_obs::{CoreReport, InterferenceReport, ShaperReport, ShaperTimelineReport};
+use dg_prof::EngineCounters;
+
+/// One memory channel's contribution to the run report.
+#[derive(Debug, Clone)]
+pub struct ChannelFragment {
+    /// Global channel index.
+    pub channel: u32,
+    /// The channel's statistics (its measurement window is finalized by
+    /// whoever assembles the report, not here).
+    pub stats: MemStats,
+    /// Conformance reports of shapers on this channel.
+    pub shapers: Vec<ShaperReport>,
+    /// Windowed shaper telemetry, when enabled.
+    pub timelines: Vec<ShaperTimelineReport>,
+    /// Who-delayed-whom attribution, when the channel's controller tracks
+    /// it.
+    pub interference: Option<InterferenceReport>,
+}
+
+/// One shard's contribution to the run report.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReportFragment {
+    /// Owned cores' reports, keyed by global core index.
+    pub cores: Vec<(u32, CoreReport)>,
+    /// Owned channels' fragments.
+    pub channels: Vec<ChannelFragment>,
+    /// The shard's engine telemetry.
+    pub engine: EngineCounters,
+}
+
+impl ShardReportFragment {
+    /// Merges another fragment into this one. Entries are united and
+    /// re-sorted by global index, so any merge grouping yields the same
+    /// fragment.
+    pub fn merge(&mut self, other: ShardReportFragment) {
+        self.cores.extend(other.cores);
+        self.cores.sort_by_key(|(gidx, _)| *gidx);
+        self.channels.extend(other.channels);
+        self.channels.sort_by_key(|c| c.channel);
+        self.engine.merge(&other.engine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_report(gidx: u32, instructions: u64) -> (u32, CoreReport) {
+        (
+            gidx,
+            CoreReport {
+                domain: gidx as u16,
+                instructions,
+                cycles: 100,
+                ipc: instructions as f64 / 100.0,
+                finished: true,
+                completion: dg_prof::LogHistogram::new().snapshot(),
+            },
+        )
+    }
+
+    fn chan_fragment(channel: u32) -> ChannelFragment {
+        let mut stats = MemStats::new(2, 64);
+        stats.refreshes = u64::from(channel) + 1;
+        ChannelFragment {
+            channel,
+            stats,
+            shapers: Vec::new(),
+            timelines: Vec::new(),
+            interference: None,
+        }
+    }
+
+    fn fragment(cores: Vec<u32>, channels: Vec<u32>, ticks: u64) -> ShardReportFragment {
+        let engine = EngineCounters {
+            ticks,
+            ..Default::default()
+        };
+        ShardReportFragment {
+            cores: cores
+                .into_iter()
+                .map(|g| core_report(g, g as u64 * 10))
+                .collect(),
+            channels: channels.into_iter().map(chan_fragment).collect(),
+            engine,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        let a = fragment(vec![0, 1], vec![0], 5);
+        let b = fragment(vec![2], vec![1, 2], 7);
+        let c = fragment(vec![3], vec![3], 11);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+
+        // a ⊕ (c ⊕ b): different grouping *and* order.
+        let mut right = c;
+        right.merge(b);
+        right.merge(a);
+
+        let key = |f: &ShardReportFragment| {
+            (
+                f.cores
+                    .iter()
+                    .map(|(g, r)| (*g, r.instructions))
+                    .collect::<Vec<_>>(),
+                f.channels
+                    .iter()
+                    .map(|c| (c.channel, c.stats.refreshes))
+                    .collect::<Vec<_>>(),
+                f.engine.ticks,
+            )
+        };
+        assert_eq!(key(&left), key(&right));
+        assert_eq!(
+            left.cores.iter().map(|(g, _)| *g).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            left.channels.iter().map(|c| c.channel).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(left.engine.ticks, 23);
+    }
+}

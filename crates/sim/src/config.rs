@@ -302,6 +302,26 @@ impl SystemConfig {
         cfg
     }
 
+    /// A scale-out configuration beyond the paper's evaluation: `cores`
+    /// cores over `channels` line-interleaved memory channels (1 GB of
+    /// DRAM per core), the topology the sharded runtime targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `channels` is a nonzero power of two (bit-sliced
+    /// interleaving needs exact field widths).
+    pub fn scale_out(cores: usize, channels: u32) -> Self {
+        assert!(
+            channels.is_power_of_two(),
+            "channel count must be a power of two, got {channels}"
+        );
+        let mut cfg = Self::two_core();
+        cfg.cores = cores;
+        cfg.dram_org.channels = channels;
+        cfg.dram_org.capacity_bytes = cores as u64 * 1024 * 1024 * 1024;
+        cfg
+    }
+
     /// Switches to a closed-row policy (for protected configurations).
     pub fn with_row_policy(mut self, policy: RowPolicy) -> Self {
         self.row_policy = policy;
@@ -320,6 +340,11 @@ impl SystemConfig {
         if !self.dram_org.banks.is_power_of_two() {
             return Err(SimError::InvalidConfig(
                 "bank count must be a power of two".into(),
+            ));
+        }
+        if !self.dram_org.channels.is_power_of_two() {
+            return Err(SimError::InvalidConfig(
+                "channel count must be a power of two".into(),
             ));
         }
         if !self.dram_org.line_bytes.is_power_of_two() || !self.dram_org.row_bytes.is_power_of_two()

@@ -161,6 +161,31 @@ impl Histogram {
         }
         Some((self.buckets.len() as u64 - 1) * self.bucket_width)
     }
+
+    /// Merges another histogram into this one bucket-wise. The operation
+    /// is associative and commutative, so per-channel (or per-shard)
+    /// fragments can be combined in any grouping and yield identical
+    /// totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ: merging histograms with
+    /// different resolutions would silently mis-bin samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "histogram merge requires identical bucket widths"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram merge requires identical bucket counts"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
 }
 
 /// Instructions-per-cycle meter for one core.

@@ -7,7 +7,8 @@ use dg_defenses::{
     TemporalPartition, TpConfig,
 };
 use dg_mem::{
-    DomainShaper, MemoryController, MemorySubsystem, PassThrough, SchedPolicy, ShapedMemory,
+    ChannelMap, DomainShaper, MemoryController, MemorySubsystem, MultiChannelMemory, PassThrough,
+    SchedPolicy, ShapedMemory,
 };
 use dg_rdag::template::RdagTemplate;
 use dg_sim::config::{RowPolicy, SystemConfig};
@@ -143,11 +144,72 @@ pub fn build_memory(
 }
 
 /// Shared memory-path assembly; mutates `cfg` (row policy) so the caller's
-/// [`System`] sees the policy the memory path actually runs.
+/// [`System`] sees the policy the memory path actually runs. When the
+/// configuration asks for more than one channel, each channel gets its own
+/// controller *and its own defense instances* behind a line-interleaved
+/// [`MultiChannelMemory`].
 fn build_memory_into(
     cfg: &mut SystemConfig,
     kind: MemoryKind,
     domains: usize,
+) -> Box<dyn MemorySubsystem> {
+    let channels = cfg.dram_org.channels;
+    if channels > 1 {
+        let lanes: Vec<Box<dyn MemorySubsystem>> = (0..channels)
+            .map(|ch| {
+                let mut lane_cfg = channel_config(cfg);
+                let lane = build_single_channel(&mut lane_cfg, kind.clone(), domains, ch);
+                // The lanes all apply the same discipline; reflect it in
+                // the caller's view of the config.
+                cfg.row_policy = lane_cfg.row_policy;
+                lane
+            })
+            .collect();
+        return Box::new(MultiChannelMemory::new(
+            lanes,
+            ChannelMap::new(channels, cfg.dram_org.line_bytes),
+        ));
+    }
+    build_single_channel(cfg, kind, domains, 0)
+}
+
+/// The per-channel view of a multi-channel config: one channel holding an
+/// equal slice of the total capacity. Bank count, timing and queues stay
+/// per-channel quantities, so they carry over unchanged.
+fn channel_config(cfg: &SystemConfig) -> SystemConfig {
+    let mut lane_cfg = cfg.clone();
+    lane_cfg.dram_org.channels = 1;
+    lane_cfg.dram_org.capacity_bytes = cfg.dram_org.capacity_bytes / cfg.dram_org.channels as u64;
+    lane_cfg
+}
+
+/// Builds the memory paths of every channel in `cfg` as separate
+/// subsystems (index = channel id), each with its own controller and
+/// defense instances. The sharded runtime uses this to place channels in
+/// different shards; the address interleaving ([`ChannelMap`]) is then the
+/// caller's responsibility.
+pub fn build_channel_memories(
+    cfg: &SystemConfig,
+    kind: &MemoryKind,
+    domains: usize,
+) -> Vec<Box<dyn MemorySubsystem>> {
+    let channels = cfg.dram_org.channels.max(1);
+    (0..channels)
+        .map(|ch| {
+            let mut lane_cfg = channel_config(cfg);
+            lane_cfg.cores = domains;
+            build_single_channel(&mut lane_cfg, kind.clone(), domains, ch)
+        })
+        .collect()
+}
+
+/// One channel's memory path. `channel` salts any randomized defense so
+/// parallel channels do not emit identical cover-traffic schedules.
+fn build_single_channel(
+    cfg: &mut SystemConfig,
+    kind: MemoryKind,
+    domains: usize,
+    channel: u32,
 ) -> Box<dyn MemorySubsystem> {
     match kind {
         MemoryKind::Insecure => {
@@ -208,9 +270,12 @@ fn build_memory_into(
                 .map(|(i, dist)| -> Box<dyn DomainShaper> {
                     let d = DomainId(i as u16);
                     match dist {
-                        Some(dist) => {
-                            Box::new(CamouflageShaper::new(d, dist, cfg, 0xCA30 ^ i as u64))
-                        }
+                        Some(dist) => Box::new(CamouflageShaper::new(
+                            d,
+                            dist,
+                            cfg,
+                            0xCA30 ^ i as u64 ^ ((channel as u64) << 16),
+                        )),
                         None => Box::new(PassThrough::new(d, cfg.queues.transaction_queue)),
                     }
                 })
@@ -258,6 +323,79 @@ mod tests {
             let end = sys.run_until_finished(50_000_000);
             assert!(end.is_ok(), "kind {kind:?} deadlocked: {end:?}");
         }
+    }
+
+    #[test]
+    fn multi_channel_system_runs_every_memory_kind() {
+        let kinds: Vec<MemoryKind> = vec![
+            MemoryKind::Insecure,
+            MemoryKind::Dagguise {
+                protected: vec![Some(RdagTemplate::new(4, 100, 0.001)), None],
+            },
+            MemoryKind::TemporalPartition {
+                slots_per_period: 8,
+            },
+            MemoryKind::Camouflage {
+                protected: vec![Some(IntervalDistribution::figure2()), None],
+            },
+        ];
+        for kind in kinds {
+            let mut cfg = SystemConfig::two_core();
+            cfg.dram_org.channels = 4;
+            let mut sys = SystemBuilder::new(cfg)
+                .trace_core(trace(50))
+                .trace_core(trace(50))
+                .memory(kind.clone())
+                .build();
+            let end = sys.run_until_finished(50_000_000);
+            assert!(end.is_ok(), "kind {kind:?} deadlocked: {end:?}");
+            let report = sys.report("multi_channel");
+            // 4 channels x 8 banks concatenated channel-major (empty for
+            // fixed-schedule paths without a bank model).
+            assert!(report.banks.is_empty() || report.banks.len() == 32);
+            assert!(
+                report.cores.iter().all(|c| c.finished),
+                "kind {kind:?} left cores unfinished"
+            );
+            // Both cores walk the same addresses, so the shared L3 absorbs
+            // the second core's loads: exactly one stream reaches memory.
+            let reads: u64 = report.domains.iter().map(|d| d.reads).sum();
+            assert!(reads >= 50, "kind {kind:?} lost memory reads: {reads}");
+        }
+    }
+
+    #[test]
+    fn channel_salt_decorrelates_camouflage_lanes() {
+        // Parallel channels running Camouflage must not emit identical
+        // fake schedules; the per-channel seed salt guarantees it. Observe
+        // each lane's first autonomous fake emission cycle.
+        let mut cfg = SystemConfig::two_core();
+        cfg.dram_org.channels = 2;
+        let lanes = build_channel_memories(
+            &cfg,
+            &MemoryKind::Camouflage {
+                protected: vec![Some(IntervalDistribution::figure2()), None],
+            },
+            2,
+        );
+        let bank_acts: Vec<Vec<u64>> = lanes
+            .into_iter()
+            .map(|mut lane| {
+                let mut out = Vec::new();
+                for now in 0..50_000 {
+                    lane.tick_into(now, &mut out);
+                }
+                assert!(
+                    lane.stats().domain(DomainId(0)).fakes > 0,
+                    "camouflage lane never emitted fakes"
+                );
+                lane.stats().banks.iter().map(|b| b.acts).collect()
+            })
+            .collect();
+        assert_ne!(
+            bank_acts[0], bank_acts[1],
+            "channel salt failed to decorrelate fake schedules"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod experiment;
 pub mod profile;
 pub mod system;
 
-pub use builder::{build_memory, MemoryKind, SystemBuilder};
+pub use builder::{build_channel_memories, build_memory, MemoryKind, SystemBuilder};
 pub use experiment::{
     run_colocation, run_colocation_observed, run_colocation_supervised, ColocationResult,
     CoreResult, ObsConfig,

@@ -177,6 +177,9 @@ impl System {
             self.instr_buf.push(c.instructions_retired());
         }
         self.bytes_buf.clear();
+        // Multi-channel paths cache their merged view; bring it up to date
+        // before sampling mid-run byte counts.
+        self.mem.refresh_stats();
         let stats = self.mem.stats();
         for d in stats.domains().iter().take(self.cores.len()) {
             self.bytes_buf.push(d.bandwidth.bytes());
