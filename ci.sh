@@ -55,6 +55,36 @@ test -s "$SMOKE_DIR/profile.folded" \
 cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/smoke_resumed.json" \
   || { echo "smoke: resumed report differs from the original"; exit 1; }
 
+echo "=== live telemetry (dg-run --live --events: no observer effect) ==="
+# The same sweep with the dashboard, the events stream, and an (ample)
+# stall watchdog all enabled must reproduce the report byte-for-byte:
+# monitoring is strictly observational.
+"$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
+  --live --events "$SMOKE_DIR/events.jsonl" --stall-s 120 \
+  --out "$SMOKE_DIR/smoke_live.json"
+cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/smoke_live.json" \
+  || { echo "live: monitored report differs from the bare run"; exit 1; }
+grep -q '"seq"' "$SMOKE_DIR/events.jsonl" \
+  || { echo "live: events stream missing snapshots"; exit 1; }
+echo "live: monitored report byte-identical; events stream populated"
+
+echo "=== stall watchdog smoke (dg-run --stall-s: stalled job aborted) ==="
+# DG_MON_TEST_STALL makes the matching job hold its simulated clock at
+# zero until a supervisor cancels it. The watchdog must diagnose the
+# stall within its budget, the sweep must exit nonzero, and the other
+# three jobs must still succeed.
+if DG_MON_TEST_STALL='+xz/dagguise' timeout 120 \
+  "$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
+  --stall-s 2 --out "$SMOKE_DIR/stalled.json"; then
+  echo "watchdog: sweep with a stalled job unexpectedly succeeded"; exit 1
+fi
+grep -q 'stall watchdog' "$SMOKE_DIR/stalled.json" \
+  || { echo "watchdog: stall diagnosis missing from the report"; exit 1; }
+ok_jobs=$(grep -c '"error": null' "$SMOKE_DIR/stalled.json")
+[ "$ok_jobs" -eq 3 ] \
+  || { echo "watchdog: expected 3 surviving jobs, saw $ok_jobs"; exit 1; }
+echo "watchdog: stalled job aborted with diagnosis, 3 healthy jobs finished"
+
 echo "=== leakage smoke (dg-run --leak: security regression gate) ==="
 # Two tiny jobs with the covert-channel leakage probe forced on: the
 # insecure controller must carry real MI capacity and DAGguise must
@@ -121,5 +151,17 @@ awk -v s="$scale64" -v c="$ceiling" 'BEGIN {
   if (s + 0 < bar) { print "perf: sharded speedup " s "x below bar " bar "x (host ceiling " c "x)"; exit 1 }
   print "perf: scale64/sharded speedup " s "x (host ceiling " c "x, bar " bar "x)"
 }'
+
+echo "=== perf trend gate (dg-trend: noise-aware regression verdicts) ==="
+# The committed benchmark history must read clean (trailing-window median
+# +/- MAD verdicts), and a synthetically injected 20% slowdown on every
+# series must be flagged with a nonzero exit — the shape of the gate a
+# perf regression would trip after `perf_throughput` appends a bad run.
+DG_TREND=target/release/dg-trend
+"$DG_TREND" BENCH_perf.json
+if "$DG_TREND" BENCH_perf.json --inject 20 --quiet; then
+  echo "trend: injected 20% regression was not flagged"; exit 1
+fi
+echo "trend: history clean; injected 20% regression flagged"
 
 echo "CI passed."

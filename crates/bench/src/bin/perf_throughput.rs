@@ -276,6 +276,7 @@ fn main() {
             rows.push((
                 name,
                 1usize,
+                1usize,
                 naive.sim_cycles,
                 naive.seconds,
                 fast.seconds,
@@ -333,9 +334,17 @@ fn main() {
             "{:<28} {:>12.3} {:>12.6} {:>12.6} {:>7.2}x",
             name, mc, single_spm, sharded_spm, speedup
         );
+        // The "fast" side runs one worker thread per shard, capped by the
+        // host (DG_SHARD_PARTIES-style effective parallelism): the thread
+        // count that actually drove the measurement, recorded so trend
+        // analytics never compare runs taken at different widths.
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(SCALE64_SHARDS);
         rows.push((
             name,
             SCALE64_SHARDS,
+            threads,
             cycles,
             best_single,
             best_sharded,
@@ -369,9 +378,10 @@ fn main() {
         if full { "full" } else { "quick" }
     ));
     json.push_str("      \"scenarios\": [\n");
-    for (i, (name, shards, cycles, ns, fs, nspm, fspm, sp)) in rows.iter().enumerate() {
+    for (i, (name, shards, threads, cycles, ns, fs, nspm, fspm, sp)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "        {{\"name\": \"{name}\", \"shards\": {shards}, \"sim_cycles\": {cycles}, \
+            "        {{\"name\": \"{name}\", \"shards\": {shards}, \"threads\": {threads}, \
+             \"sim_cycles\": {cycles}, \
              \"naive_seconds\": {ns:.6}, \"fast_seconds\": {fs:.6}, \
              \"naive_sec_per_mcycle\": {nspm:.6}, \"fast_sec_per_mcycle\": {fspm:.6}, \
              \"speedup\": {sp:.3}}}{}\n",
@@ -380,7 +390,7 @@ fn main() {
     }
     json.push_str("      ],\n");
     json.push_str("      \"speedups\": {\n");
-    for (i, (name, _, _, _, _, _, _, sp)) in rows.iter().enumerate() {
+    for (i, (name, _, _, _, _, _, _, _, sp)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "        \"{name}\": {sp:.3}{}\n",
             if i + 1 < rows.len() { "," } else { "" }

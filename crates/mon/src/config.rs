@@ -1,0 +1,108 @@
+//! Monitor configuration: dashboard, events stream, watchdog knobs.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How a sweep should be monitored. The zero value (all off) is the
+/// default so existing callers pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorConfig {
+    /// Render the in-terminal dashboard (`dg-run --live`).
+    pub live: bool,
+    /// Stream snapshots as append-only JSONL (`dg-run --events PATH`).
+    pub events: Option<PathBuf>,
+    /// Cancel a running job whose simulated clock has not advanced within
+    /// this host-time budget (`--stall-s` / `DG_MON_STALL_S`).
+    pub stall_timeout: Option<Duration>,
+    /// Snapshot/watchdog sampling period (`DG_MON_INTERVAL_MS`); the
+    /// zero value means "use [`MonitorConfig::interval`]'s default".
+    pub interval: Option<Duration>,
+}
+
+impl MonitorConfig {
+    /// Environment-seeded config: `DG_MON_STALL_S` (fractional seconds)
+    /// and `DG_MON_INTERVAL_MS`. Unparseable values are ignored.
+    pub fn from_env() -> Self {
+        let mut cfg = MonitorConfig::default();
+        if let Ok(v) = std::env::var("DG_MON_STALL_S") {
+            if let Ok(secs) = v.trim().parse::<f64>() {
+                if secs > 0.0 {
+                    cfg.stall_timeout = Some(Duration::from_secs_f64(secs));
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("DG_MON_INTERVAL_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                if ms > 0 {
+                    cfg.interval = Some(Duration::from_millis(ms));
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Whether any monitoring machinery needs to run at all.
+    pub fn enabled(&self) -> bool {
+        self.live || self.events.is_some() || self.stall_timeout.is_some()
+    }
+
+    /// The effective sampling period (default 500 ms, clamped down to the
+    /// stall budget so the watchdog can actually fire within it).
+    pub fn interval(&self) -> Duration {
+        let base = self.interval.unwrap_or(Duration::from_millis(500));
+        match self.stall_timeout {
+            Some(stall) if stall < base => stall.max(Duration::from_millis(10)),
+            _ => base.max(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let cfg = MonitorConfig::default();
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.interval(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn any_feature_enables() {
+        let cfg = MonitorConfig {
+            live: true,
+            ..Default::default()
+        };
+        assert!(cfg.enabled());
+        let cfg = MonitorConfig {
+            events: Some("e.jsonl".into()),
+            ..Default::default()
+        };
+        assert!(cfg.enabled());
+        let cfg = MonitorConfig {
+            stall_timeout: Some(Duration::from_secs(1)),
+            ..Default::default()
+        };
+        assert!(cfg.enabled());
+    }
+
+    #[test]
+    fn interval_clamps_to_stall_budget() {
+        let cfg = MonitorConfig {
+            stall_timeout: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        assert_eq!(cfg.interval(), Duration::from_millis(100));
+        let cfg = MonitorConfig {
+            stall_timeout: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        assert_eq!(cfg.interval(), Duration::from_millis(10));
+        let cfg = MonitorConfig {
+            interval: Some(Duration::from_millis(50)),
+            ..Default::default()
+        };
+        assert_eq!(cfg.interval(), Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,203 @@
+//! In-terminal dashboard for `dg-run --live`.
+//!
+//! On a tty the dashboard repaints a multi-line stderr region in place
+//! (through the log module's shared gate, so diagnostics never shear the
+//! paint). On a non-tty stderr it degrades to compact single-line
+//! progress records, printed only when the completion counters change, so
+//! redirected output stays readable.
+
+use std::io::IsTerminal;
+
+use crate::log::{clear_live, paint_live};
+use crate::telemetry::TelemetrySnapshot;
+
+pub struct Dashboard {
+    ansi: bool,
+    /// (done, retries, stalled) of the last non-tty line, to dedupe.
+    last_plain: Option<(u64, u64, u64)>,
+}
+
+fn fmt_cycles(c: u64) -> String {
+    if c >= 10_000_000_000 {
+        format!("{:.1}G", c as f64 / 1e9)
+    } else if c >= 10_000_000 {
+        format!("{:.1}M", c as f64 / 1e6)
+    } else if c >= 10_000 {
+        format!("{:.1}k", c as f64 / 1e3)
+    } else {
+        c.to_string()
+    }
+}
+
+fn fmt_eta(ms: Option<u64>) -> String {
+    match ms {
+        None => "--".to_string(),
+        Some(ms) if ms >= 60_000 => format!("{}m{:02}s", ms / 60_000, (ms % 60_000) / 1000),
+        Some(ms) => format!("{:.1}s", ms as f64 / 1000.0),
+    }
+}
+
+fn bar(done: u64, total: u64, width: usize) -> String {
+    let filled = if total == 0 {
+        width
+    } else {
+        (done as usize * width) / total as usize
+    };
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '-' });
+    }
+    s
+}
+
+impl Dashboard {
+    pub fn new() -> Self {
+        Dashboard {
+            ansi: std::io::stderr().is_terminal(),
+            last_plain: None,
+        }
+    }
+
+    /// Renders one snapshot: full region repaint on a tty, changed-only
+    /// compact line otherwise.
+    pub fn render(&mut self, snap: &TelemetrySnapshot) {
+        if self.ansi {
+            paint_live(&self.compose(snap), true);
+        } else {
+            let key = (snap.done, snap.retries, snap.stalled);
+            if self.last_plain != Some(key) {
+                self.last_plain = Some(key);
+                crate::log_info!(
+                    "sweep progress";
+                    "done" => format!("{}/{}", snap.done, snap.total),
+                    "ok" => snap.succeeded,
+                    "failed" => snap.failed,
+                    "retries" => snap.retries,
+                    "stalled" => snap.stalled,
+                    "mcps" => format!("{:.1}", snap.mcycles_per_sec),
+                    "eta" => fmt_eta(snap.eta_ms)
+                );
+            }
+        }
+    }
+
+    fn compose(&self, snap: &TelemetrySnapshot) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "dg-run [{}] {}/{} jobs  ok={} fail={} skip={} retry={} stall={}",
+            bar(snap.done, snap.total, 24),
+            snap.done,
+            snap.total,
+            snap.succeeded,
+            snap.failed,
+            snap.skipped,
+            snap.retries,
+            snap.stalled,
+        ));
+        lines.push(format!(
+            "  {:.1} sim-Mcycles/s  cycles={} warped={}  elapsed={:.1}s  eta={}",
+            snap.mcycles_per_sec,
+            fmt_cycles(snap.sim_cycles),
+            fmt_cycles(snap.skipped_cycles),
+            snap.elapsed_ms as f64 / 1000.0,
+            fmt_eta(snap.eta_ms),
+        ));
+        if !snap.groups.is_empty() {
+            let cells: Vec<String> = snap
+                .groups
+                .iter()
+                .map(|g| format!("{} {}/{}", g.name, g.done, g.total))
+                .collect();
+            lines.push(format!("  defenses: {}", cells.join("  ")));
+        }
+        for w in &snap.workers {
+            let detail = match w.job.as_deref() {
+                Some(job) => format!(
+                    "{job} a{} cyc={} steps={} {:.1}s",
+                    w.attempt,
+                    fmt_cycles(w.sim_cycles),
+                    w.supersteps,
+                    w.busy_ms as f64 / 1000.0
+                ),
+                None => String::new(),
+            };
+            lines.push(format!("  w{} {:<8} {}", w.worker, w.state, detail));
+        }
+        lines
+    }
+
+    /// Erases the live region at the end of the run (tty only).
+    pub fn finish(&mut self) {
+        if self.ansi {
+            clear_live();
+        }
+    }
+}
+
+impl Default for Dashboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_cycles(999), "999");
+        assert_eq!(fmt_cycles(40_000_000), "40.0M");
+        assert_eq!(fmt_cycles(12_500_000_000), "12.5G");
+        assert_eq!(fmt_eta(None), "--");
+        assert_eq!(fmt_eta(Some(1500)), "1.5s");
+        assert_eq!(fmt_eta(Some(125_000)), "2m05s");
+        assert_eq!(bar(2, 4, 8), "####----");
+        assert_eq!(bar(0, 0, 4), "####");
+    }
+
+    #[test]
+    fn compose_covers_all_sections() {
+        let snap = TelemetrySnapshot {
+            seq: 1,
+            elapsed_ms: 2500,
+            total: 4,
+            done: 1,
+            succeeded: 1,
+            failed: 0,
+            skipped: 0,
+            retries: 0,
+            stalled: 0,
+            sim_cycles: 40_000_000,
+            supersteps: 3,
+            skipped_cycles: 1_000_000,
+            mcycles_per_sec: 16.0,
+            eta_ms: Some(7500),
+            groups: vec![crate::GroupProgress {
+                name: "dagguise".into(),
+                total: 2,
+                done: 1,
+            }],
+            workers: vec![crate::WorkerSnapshot {
+                worker: 0,
+                state: "running".into(),
+                job: Some("s/a/dagguise".into()),
+                attempt: 0,
+                sim_cycles: 10_000_000,
+                supersteps: 1,
+                skipped_cycles: 0,
+                busy_ms: 800,
+            }],
+        };
+        let dash = Dashboard {
+            ansi: false,
+            last_plain: None,
+        };
+        let lines = dash.compose(&snap);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("1/4 jobs"));
+        assert!(lines[1].contains("16.0 sim-Mcycles/s"));
+        assert!(lines[2].contains("dagguise 1/2"));
+        assert!(lines[3].contains("s/a/dagguise"));
+    }
+}

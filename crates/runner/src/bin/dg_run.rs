@@ -4,7 +4,8 @@
 //! dg-run spec.toml [--jobs N] [--journal PATH] [--resume PATH]
 //!                  [--retries N] [--backoff-ms N] [--escalation N]
 //!                  [--timeout-s N] [--out PATH] [--leak PATH]
-//!                  [--profile PATH] [--shards N] [--print-jobs] [--quiet]
+//!                  [--profile PATH] [--shards N] [--live] [--events PATH]
+//!                  [--stall-s N] [--print-jobs] [--quiet]
 //! ```
 //!
 //! Exits nonzero if any job fails, printing the failing job ids with
@@ -20,8 +21,17 @@
 //! machine-dependent, so none of it enters the merged report. `--shards N`
 //! (or the `DG_SHARDS` env var) runs every job on the conservative-PDES
 //! sharded runtime with N shards — results are byte-identical for any N.
+//!
+//! Live telemetry (`dg-mon`): `--live` renders an in-terminal dashboard,
+//! `--events PATH` streams snapshots as append-only JSONL (torn tails are
+//! repaired on `--resume`, like the journal), and `--stall-s N` (or
+//! `DG_MON_STALL_S`) arms the stall watchdog, which cancels any job whose
+//! *simulated* clock stops advancing for N host seconds. None of these
+//! change the merged report. Diagnostics go through the leveled `DG_LOG`
+//! facade (`error|warn|info|debug`, default `info`).
 //! See EXPERIMENTS.md for the spec format.
 
+use dg_mon::{log_error, log_info};
 use dg_runner::{
     effective_jobs, host_cost_leaderboard, host_cost_table, latency_leaderboard, latency_table,
     leak_leaderboard, leak_report_json, leak_table, merged_profile, merged_report_with_latency,
@@ -42,10 +52,13 @@ struct Args {
 }
 
 fn usage() -> ! {
+    // Help goes straight to stderr, not the log facade: it is the
+    // interactive contract of the binary, not a diagnostic.
     eprintln!(
         "usage: dg-run <spec.toml|spec.json> [--jobs N] [--journal PATH] [--resume PATH]\n\
          \x20              [--retries N] [--backoff-ms N] [--escalation N] [--timeout-s N]\n\
          \x20              [--out PATH] [--leak PATH] [--profile PATH] [--shards N]\n\
+         \x20              [--live] [--events PATH] [--stall-s N]\n\
          \x20              [--print-jobs] [--quiet]"
     );
     std::process::exit(2);
@@ -53,7 +66,12 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut spec = None;
-    let mut cfg = RunnerConfig::default();
+    // Watchdog/interval knobs seed from the environment (DG_MON_STALL_S,
+    // DG_MON_INTERVAL_MS); explicit flags override.
+    let mut cfg = RunnerConfig {
+        monitor: dg_mon::MonitorConfig::from_env(),
+        ..RunnerConfig::default()
+    };
     let mut jobs_flag = None;
     let mut out = None;
     let mut leak = None;
@@ -65,7 +83,7 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> String {
             it.next().unwrap_or_else(|| {
-                eprintln!("error: {flag} requires a value");
+                log_error!("{flag} requires a value");
                 usage();
             })
         };
@@ -73,7 +91,7 @@ fn parse_args() -> Args {
             "--jobs" => match value("--jobs").parse::<usize>() {
                 Ok(n) if n > 0 => jobs_flag = Some(n),
                 _ => {
-                    eprintln!("error: --jobs must be a positive integer");
+                    log_error!("--jobs must be a positive integer");
                     usage();
                 }
             },
@@ -98,7 +116,18 @@ fn parse_args() -> Args {
             "--shards" => match value("--shards").parse::<usize>() {
                 Ok(n) if n > 0 => shards = Some(n),
                 _ => {
-                    eprintln!("error: --shards must be a positive integer");
+                    log_error!("--shards must be a positive integer");
+                    usage();
+                }
+            },
+            "--live" => cfg.monitor.live = true,
+            "--events" => cfg.monitor.events = Some(PathBuf::from(value("--events"))),
+            "--stall-s" => match value("--stall-s").parse::<f64>() {
+                Ok(s) if s > 0.0 => {
+                    cfg.monitor.stall_timeout = Some(Duration::from_secs_f64(s));
+                }
+                _ => {
+                    log_error!("--stall-s must be a positive number of seconds");
                     usage();
                 }
             },
@@ -112,7 +141,7 @@ fn parse_args() -> Args {
                 spec = Some(PathBuf::from(other));
             }
             other => {
-                eprintln!("error: unknown argument `{other}`");
+                log_error!("unknown argument `{other}`");
                 usage();
             }
         }
@@ -132,7 +161,7 @@ fn parse_args() -> Args {
 fn ensure_parent(path: &std::path::Path) -> bool {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: creating {}: {e}", dir.display());
+            log_error!("creating {}: {e}", dir.display());
             return false;
         }
     }
@@ -145,7 +174,7 @@ fn main() -> ExitCode {
     let mut spec = match ExperimentSpec::load(&args.spec) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {e}");
+            log_error!("{e}");
             return ExitCode::from(2);
         }
     };
@@ -160,6 +189,7 @@ fn main() -> ExitCode {
     }
 
     if args.print_jobs {
+        // Job ids are the machine-readable output here — stdout, no facade.
         for job in spec.expand() {
             println!("{}", job.id);
         }
@@ -167,18 +197,21 @@ fn main() -> ExitCode {
     }
 
     if args.cfg.verbose {
-        eprintln!(
+        log_info!(
             "dg-run: sweep `{}` — {} jobs on {} workers",
             spec.name,
             spec.expand().len(),
-            args.cfg.jobs
+            args.cfg.jobs;
+            "sweep" => spec.name,
+            "jobs" => spec.expand().len(),
+            "workers" => args.cfg.jobs
         );
     }
 
     let outcome = match spec.run(&args.cfg) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            log_error!("{e}");
             return ExitCode::from(2);
         }
     };
@@ -191,16 +224,16 @@ fn main() -> ExitCode {
     }
     let report = merged_report_with_latency(&spec.name, &outcome);
     if let Err(e) = std::fs::write(&out_path, &report) {
-        eprintln!("error: writing {}: {e}", out_path.display());
+        log_error!("writing {}: {e}", out_path.display());
         return ExitCode::from(2);
     }
     if args.cfg.verbose {
-        eprintln!(
-            "dg-run: wrote {} ({} jobs, {} retries, {:.1} jobs/s)",
-            out_path.display(),
-            outcome.progress.total,
-            outcome.progress.retries,
-            outcome.progress.jobs_per_sec
+        log_info!(
+            "dg-run: wrote {}",
+            out_path.display();
+            "jobs" => outcome.progress.total,
+            "retries" => outcome.progress.retries,
+            "jobs_per_sec" => format!("{:.1}", outcome.progress.jobs_per_sec)
         );
         print!("{}", latency_table(&latency_leaderboard(&outcome)));
     }
@@ -212,7 +245,7 @@ fn main() -> ExitCode {
         let profiles = dg_prof::collector::drain();
         let profile_json = profile_report_json(&spec.name, &profiles);
         if let Err(e) = std::fs::write(profile_path, &profile_json) {
-            eprintln!("error: writing {}: {e}", profile_path.display());
+            log_error!("writing {}: {e}", profile_path.display());
             return ExitCode::from(2);
         }
         let folded_path = profile_path.with_extension("folded");
@@ -220,18 +253,18 @@ fn main() -> ExitCode {
             .map(|p| p.collapsed())
             .unwrap_or_default();
         if let Err(e) = std::fs::write(&folded_path, &folded) {
-            eprintln!("error: writing {}: {e}", folded_path.display());
+            log_error!("writing {}: {e}", folded_path.display());
             return ExitCode::from(2);
         }
         print!("{}", host_cost_table(&host_cost_leaderboard(&profiles)));
         if args.cfg.verbose {
-            eprintln!(
+            log_info!(
                 "dg-run: wrote host profile {} (+ {})",
                 profile_path.display(),
                 folded_path.display()
             );
             if profiles.is_empty() {
-                eprintln!("dg-run: note: no profiles collected (dg-prof feature disabled?)");
+                log_info!("dg-run: note: no profiles collected (dg-prof feature disabled?)");
             }
         }
     }
@@ -242,12 +275,12 @@ fn main() -> ExitCode {
         }
         let leak_json = leak_report_json(&spec.name, &outcome);
         if let Err(e) = std::fs::write(leak_path, &leak_json) {
-            eprintln!("error: writing {}: {e}", leak_path.display());
+            log_error!("writing {}: {e}", leak_path.display());
             return ExitCode::from(2);
         }
         print!("{}", leak_table(&leak_leaderboard(&outcome)));
         if args.cfg.verbose {
-            eprintln!("dg-run: wrote leakage report {}", leak_path.display());
+            log_info!("dg-run: wrote leakage report {}", leak_path.display());
         }
     }
 

@@ -54,7 +54,7 @@ pub fn attempt_budget(base: u64, escalation: u64, attempt: u32) -> u64 {
 }
 
 /// Per-attempt execution context handed to the job executor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JobCtx {
     /// Deterministic RNG seed derived from the job id via [`job_seed`].
     pub seed: u64,
@@ -64,12 +64,18 @@ pub struct JobCtx {
     pub escalation: u64,
     /// Wall-clock deadline for this attempt, if a timeout is configured.
     pub deadline: Option<Instant>,
+    /// Live-progress heartbeat for this attempt, when the sweep is
+    /// monitored. Executors publish simulated-clock progress into it and
+    /// poll it (via [`JobCtx::expired`]) for watchdog cancellation.
+    pub monitor: Option<dg_mon::ProgressProbe>,
 }
 
 impl JobCtx {
-    /// Whether this attempt's wall-clock deadline has passed.
+    /// Whether this attempt should stop: its wall-clock deadline passed,
+    /// or the stall watchdog cancelled it.
     pub fn expired(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.monitor.as_ref().is_some_and(|p| p.cancelled())
     }
 
     /// This attempt's cycle budget, escalated from the job's base budget.
@@ -159,10 +165,22 @@ mod tests {
             seed: 1,
             attempt: 2,
             escalation: 10,
-            deadline: None,
+            ..JobCtx::default()
         };
         assert_eq!(ctx.budget(5), 500);
         assert!(!ctx.expired());
+    }
+
+    #[test]
+    fn watchdog_cancel_expires_ctx() {
+        let probe = dg_mon::ProgressProbe::new();
+        let ctx = JobCtx {
+            monitor: Some(probe.clone()),
+            ..JobCtx::default()
+        };
+        assert!(!ctx.expired());
+        probe.cancel("stall watchdog: test");
+        assert!(ctx.expired());
     }
 
     #[test]

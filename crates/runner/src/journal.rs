@@ -170,9 +170,9 @@ pub fn replay_journal<R: Deserialize>(path: &Path) -> io::Result<JournalReplay<R
                 valid_len = *end;
             }
             Err(err) if i + 1 == lines.len() => {
-                eprintln!(
-                    "warning: dropping partial trailing journal line ({} bytes): {err}",
-                    line.len()
+                dg_mon::log_warn!(
+                    "dropping partial trailing journal line: {err}";
+                    "bytes" => line.len()
                 );
                 dropped_partial_tail = true;
             }

@@ -21,6 +21,10 @@
 //!   aggregation: covert-channel capacity, merged HDR latency percentiles
 //!   (deterministic, embedded in the report), and host-time cost per
 //!   defense (nondeterministic, standalone artifact).
+//! * **Live telemetry** (`dg-mon`, wired through [`runner`]) — worker
+//!   heartbeats, the `--live` dashboard, the `--events` JSONL stream, and
+//!   the stall watchdog. Strictly observational: enabling any of it never
+//!   changes the merged report.
 //!
 //! The invariant the whole crate is built around: a job's result is a
 //! pure function of its stable id and parameters. Scheduling order,

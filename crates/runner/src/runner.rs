@@ -19,6 +19,7 @@
 use crate::job::{job_seed, JobCtx, JobDesc, JobRecord};
 use crate::journal::{replay_journal, JournalEntry, JournalWriter};
 use crate::pool::{effective_jobs, run_work_stealing};
+use dg_mon::{log_error, log_warn, Dashboard, EventsWriter, MonitorConfig, MonitorHub};
 use dg_obs::{ProgressMeter, SweepProgress};
 use dg_sim::error::SimError;
 use parking_lot::Mutex;
@@ -27,6 +28,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Supervision policy for a sweep.
@@ -52,6 +55,8 @@ pub struct RunnerConfig {
     pub resume: Option<PathBuf>,
     /// Whether to print per-job progress lines to stderr.
     pub verbose: bool,
+    /// Live-telemetry options: dashboard, events stream, stall watchdog.
+    pub monitor: MonitorConfig,
 }
 
 impl Default for RunnerConfig {
@@ -65,6 +70,7 @@ impl Default for RunnerConfig {
             journal: None,
             resume: None,
             verbose: true,
+            monitor: MonitorConfig::default(),
         }
     }
 }
@@ -104,18 +110,20 @@ impl<R> SweepOutcome<R> {
         if failures.is_empty() {
             return true;
         }
-        eprintln!(
-            "error: {} of {} jobs failed:",
+        log_error!(
+            "{} of {} jobs failed",
             failures.len(),
-            self.records.len()
+            self.records.len();
+            "failed" => failures.len(),
+            "total" => self.records.len()
         );
         for f in &failures {
-            eprintln!(
-                "  {} — {} (after {} attempt{})",
+            log_error!(
+                "  {} — {}",
                 f.id,
-                f.error.as_deref().unwrap_or("unknown error"),
-                f.attempts,
-                if f.attempts == 1 { "" } else { "s" }
+                f.error.as_deref().unwrap_or("unknown error");
+                "job" => f.id,
+                "attempts" => f.attempts
             );
         }
         false
@@ -183,7 +191,9 @@ where
         resumed.retain(|id, e| ids.contains(id) && e.error.is_none());
     }
 
-    let meter = ProgressMeter::new(jobs.len() as u64, cfg.verbose);
+    // With the dashboard active, per-job progress lines would shear the
+    // live region; the final summary still prints.
+    let meter = ProgressMeter::new(jobs.len() as u64, cfg.verbose && !cfg.monitor.live);
     meter.skipped(resumed.len() as u64);
 
     let journal_path = cfg.journal.as_ref().or(cfg.resume.as_ref());
@@ -197,31 +207,56 @@ where
         .filter(|&i| !resumed.contains_key(jobs[i].id()))
         .collect();
 
+    // The monitoring plane: a hub the workers heartbeat into, sampled by
+    // a monitor thread that renders the dashboard, appends the events
+    // stream, and runs the stall watchdog. All of it is outside the
+    // executor's result path, so enabling it cannot change the report.
+    let monitoring = Monitoring::start(cfg, jobs, &pending, resumed.len() as u64)?;
+
     let results: Mutex<Vec<JobRecord<R>>> = Mutex::new(Vec::with_capacity(pending.len()));
 
-    run_work_stealing(pending, cfg.jobs, |_worker, job_idx| {
+    run_work_stealing(pending, cfg.jobs, |worker, job_idx| {
         let job = &jobs[job_idx];
         let id = job.id();
         let started = Instant::now();
         let mut attempt: u32 = 0;
         let (output, error) = loop {
+            let probe = monitoring
+                .as_ref()
+                .map(|m| m.hub.begin_job(worker, id, attempt));
             let ctx = JobCtx {
                 seed: job_seed(id),
                 attempt,
                 escalation: cfg.escalation,
                 deadline: cfg.timeout.map(|t| Instant::now() + t),
+                monitor: probe.clone(),
             };
             match catch_unwind(AssertUnwindSafe(|| exec(job, &ctx))) {
                 Ok(Ok(r)) => break (Some(r), None),
                 Ok(Err(e @ SimError::Deadline { .. })) if attempt < cfg.retries => {
                     if cfg.verbose {
-                        eprintln!("retrying {id} after {e} (attempt {})", attempt + 2);
+                        log_warn!(
+                            "retrying {id} after {e}";
+                            "job" => id,
+                            "attempt" => attempt + 2
+                        );
                     }
                     meter.retried();
+                    if let Some(m) = &monitoring {
+                        m.hub.job_retrying(worker);
+                    }
                     std::thread::sleep(cfg.backoff * 2u32.saturating_pow(attempt).min(1 << 10));
                     attempt += 1;
                 }
-                Ok(Err(e)) => break (None, Some(e.to_string())),
+                Ok(Err(e)) => {
+                    // A watchdog cancellation surfaces as a generic abort;
+                    // put the stall diagnosis back into the record.
+                    let msg = match probe.as_ref().and_then(|p| p.cancel_reason()) {
+                        Some(reason) => format!("{reason}: {e}"),
+                        None => e.to_string(),
+                    };
+                    break (None, Some(msg));
+                }
                 Err(payload) => {
                     // `payload.as_ref()`, not `&payload`: the latter would
                     // unsize the Box itself into `dyn Any` and every
@@ -240,6 +275,10 @@ where
             output,
             error,
         };
+        if let Some(m) = &monitoring {
+            m.hub
+                .end_job(worker, record.is_ok(), started.elapsed().as_millis() as u64);
+        }
         if let Some(journal) = &journal {
             let entry = JournalEntry {
                 id: record.id.clone(),
@@ -256,6 +295,10 @@ where
         results.lock().push(record);
     });
 
+    if let Some(m) = monitoring {
+        m.finish()?;
+    }
+
     if let Some(e) = journal_err.into_inner() {
         return Err(e);
     }
@@ -268,6 +311,127 @@ where
         records,
         progress: meter.summary(),
     })
+}
+
+/// The live-monitoring side plane of one sweep: the heartbeat hub plus
+/// the background thread that samples it. Constructed only when
+/// [`MonitorConfig::enabled`]; everything here is observational — the
+/// executor's inputs and outputs never depend on it.
+struct Monitoring {
+    hub: Arc<MonitorHub>,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl Monitoring {
+    fn start<J: JobDesc>(
+        cfg: &RunnerConfig,
+        jobs: &[J],
+        pending: &[usize],
+        skipped: u64,
+    ) -> io::Result<Option<Self>> {
+        if !cfg.monitor.enabled() {
+            return Ok(None);
+        }
+        let ids: Vec<&str> = pending.iter().map(|&i| jobs[i].id()).collect();
+        let hub = Arc::new(MonitorHub::new(
+            cfg.jobs.max(1),
+            jobs.len() as u64,
+            &ids,
+            skipped,
+        ));
+
+        // Open the events stream up front so a bad path fails the sweep
+        // immediately instead of after hours of simulation. A resumed run
+        // (same semantics as the journal) repairs a torn tail and
+        // continues the sequence numbering.
+        let events = match &cfg.monitor.events {
+            Some(path) => {
+                let (writer, repaired) = EventsWriter::open(path, cfg.resume.is_some())?;
+                if repaired {
+                    log_warn!(
+                        "dropped partial trailing events line";
+                        "events" => path.display()
+                    );
+                }
+                Some(writer)
+            }
+            None => None,
+        };
+        let dashboard = cfg.monitor.live.then(Dashboard::new);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let hub = Arc::clone(&hub);
+            let stop = Arc::clone(&stop);
+            let interval = cfg.monitor.interval();
+            let stall = cfg.monitor.stall_timeout;
+            std::thread::spawn(move || {
+                monitor_loop(&hub, &stop, interval, stall, events, dashboard)
+            })
+        };
+
+        Ok(Some(Monitoring { hub, stop, thread }))
+    }
+
+    /// Stops the monitor thread, emitting one final snapshot so the
+    /// events stream always ends in a terminal (`done == total`) record.
+    fn finish(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("monitor thread panicked")),
+        }
+    }
+}
+
+/// The monitor thread body: sample → watchdog → render → stream, every
+/// `interval`, plus one final sample after the pool drains.
+fn monitor_loop(
+    hub: &MonitorHub,
+    stop: &AtomicBool,
+    interval: Duration,
+    stall: Option<Duration>,
+    mut events: Option<EventsWriter>,
+    mut dashboard: Option<Dashboard>,
+) -> io::Result<()> {
+    let mut result = Ok(());
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        if let Some(budget) = stall {
+            for job in hub.watchdog_scan(budget) {
+                log_warn!(
+                    "stall watchdog cancelling {job}";
+                    "job" => job,
+                    "budget_s" => budget.as_secs_f64()
+                );
+            }
+        }
+        let mut snap = hub.snapshot();
+        if let Some(w) = &mut events {
+            // Keep sampling the dashboard on a write error, but surface
+            // the first failure to the caller — a silently truncated
+            // stream would look like a crashed run to consumers.
+            if let Err(e) = w.append(&mut snap) {
+                if result.is_ok() {
+                    log_error!("events stream write failed: {e}");
+                    result = Err(e);
+                }
+                events = None;
+            }
+        }
+        if let Some(d) = &mut dashboard {
+            d.render(&snap);
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    if let Some(d) = &mut dashboard {
+        d.finish();
+    }
+    result
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

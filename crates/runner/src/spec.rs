@@ -18,9 +18,7 @@ use dg_rdag::template::RdagTemplate;
 use dg_sim::config::SystemConfig;
 use dg_sim::error::SimError;
 use dg_sim::types::DomainId;
-use dg_system::{
-    build_memory, run_colocation, run_colocation_supervised, ColocationResult, MemoryKind,
-};
+use dg_system::{build_memory, run_colocation, ColocationResult, MemoryKind};
 use dg_workloads::SpecPreset;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
@@ -511,7 +509,35 @@ pub fn execute_job(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult
     result
 }
 
+/// Test hook for the stall watchdog: when `DG_MON_TEST_STALL` is set to a
+/// substring of this job's id, the attempt busy-waits *without advancing
+/// its simulated clock* until supervision cancels it (or a generous cap
+/// trips). This manufactures the livelock signature — host time passing,
+/// simulated time frozen — that the watchdog exists to catch, so the CI
+/// smoke can prove a stalled job is flagged and aborted within budget.
+fn test_stall_hook(job: &ColocationJob, ctx: &JobCtx) -> Result<(), SimError> {
+    let Ok(pattern) = std::env::var("DG_MON_TEST_STALL") else {
+        return Ok(());
+    };
+    if pattern.is_empty() || !job.id.contains(&pattern) {
+        return Ok(());
+    }
+    let started = std::time::Instant::now();
+    while !ctx.expired() {
+        if started.elapsed() > std::time::Duration::from_secs(120) {
+            return Err(SimError::Aborted(
+                "test stall hook: no supervisor cancelled within 120s".to_string(),
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    Err(SimError::Aborted(
+        "test stall hook: simulated clock held".to_string(),
+    ))
+}
+
 fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResult, SimError> {
+    test_stall_hook(job, ctx)?;
     let cfg = SystemConfig::two_core();
     let (victim, corunner) = {
         let _prof = dg_prof::span("workload");
@@ -526,15 +552,20 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
     // Spec/CLI shard counts win; `DG_SHARDS` switches a whole process onto
     // the sharded runtime (the differential-oracle CI gate relies on this).
     let shards = job.shards.or_else(dg_shard::shards_from_env);
+    // Supervision engages for a wall-clock timeout OR a live monitor: the
+    // monitored paths publish heartbeats between supervision slices and
+    // poll `ctx.expired()` so the stall watchdog can cancel the attempt.
+    let supervised = ctx.deadline.is_some() || ctx.monitor.is_some();
     let mut result = if let Some(shards) = shards {
-        if ctx.deadline.is_some() {
-            dg_shard::run_colocation_sharded_supervised(
+        if supervised {
+            dg_shard::run_colocation_sharded_monitored(
                 &cfg,
                 vec![victim, corunner],
                 kind.clone(),
                 shards,
                 budget,
                 &mut || ctx.expired(),
+                ctx.monitor.as_ref(),
             )
         } else {
             dg_shard::run_colocation_sharded(
@@ -545,14 +576,15 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
                 budget,
             )
         }
-    } else if ctx.deadline.is_some() {
-        run_colocation_supervised(
+    } else if supervised {
+        dg_system::run_colocation_monitored(
             &cfg,
             vec![victim, corunner],
             kind.clone(),
             budget,
             SUPERVISION_CHUNK,
             &mut || ctx.expired(),
+            ctx.monitor.as_ref(),
         )
     } else {
         run_colocation(&cfg, vec![victim, corunner], kind.clone(), budget)

@@ -107,15 +107,22 @@ fn profiled_sweep_attributes_host_time_per_defense() {
     assert_eq!(profiles.len(), 4, "one profile per successful job");
     for (id, p) in &profiles {
         assert!(p.total_ns > 0, "{id}: empty profile");
+        // ci.sh holds the profiled smoke (a process with the sweep to
+        // itself) to >= 0.9; here three sibling tests contend for the
+        // same small host and preemption between spans eats coverage.
         assert!(
-            p.coverage >= 0.9,
+            p.coverage >= 0.85,
             "{id}: only {:.2} of wall time attributed",
             p.coverage
         );
+        // Top-5, not top-3: sim's *self* time is scan overhead (its hot
+        // children — dram_device, core_tick, mem_tick — are ranked
+        // separately) and races `controller` within a few percent, which
+        // parallel-test load on a small host flips either way.
         let top = p.top_self();
         assert!(
-            top.iter().take(3).any(|(name, _)| name == "sim"),
-            "{id}: sim phase missing from top-3 self time: {top:?}"
+            top.iter().take(5).any(|(name, _)| name == "sim"),
+            "{id}: sim phase missing from top-5 self time: {top:?}"
         );
     }
 

@@ -74,10 +74,35 @@ pub fn run_colocation_sharded_supervised(
     budget: Cycle,
     should_abort: &mut dyn FnMut() -> bool,
 ) -> Result<ColocationResult, SimError> {
+    run_colocation_sharded_monitored(cfg, traces, kind, shards, budget, should_abort, None)
+}
+
+/// [`run_colocation_sharded_supervised`] with a live-progress heartbeat:
+/// the superstep coordinator publishes (current cycle, supersteps,
+/// warp-skipped cycles) into `probe` at every barrier. The probe is
+/// write-only for the simulation, so results are byte-identical with or
+/// without it.
+///
+/// # Errors
+///
+/// Returns [`SimError::Aborted`] when `should_abort` reports true, and
+/// [`SimError::Deadline`] when the budget is exhausted first.
+pub fn run_colocation_sharded_monitored(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+    budget: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+    probe: Option<&dg_mon::ProgressProbe>,
+) -> Result<ColocationResult, SimError> {
     let mut sys = {
         let _prof = dg_prof::span("setup");
         build(cfg, traces, kind, shards)
     };
+    if let Some(p) = probe {
+        sys.set_progress_probe(p.clone());
+    }
     {
         let _prof = dg_prof::span("sim");
         sys.run_until_core_finished_supervised(0, budget, should_abort)?;

@@ -220,6 +220,7 @@ impl ShardedSystemBuilder {
             now: 0,
             mem_label,
             n_cores,
+            progress: None,
         }
     }
 }
@@ -240,6 +241,10 @@ pub struct ShardedSystem {
     now: Cycle,
     mem_label: &'static str,
     n_cores: usize,
+    /// Live-progress heartbeat the coordinator publishes into at every
+    /// superstep barrier (`None` when unmonitored). Write-only: never
+    /// read back into simulation state, so results are probe-independent.
+    progress: Option<dg_mon::ProgressProbe>,
 }
 
 impl ShardedSystem {
@@ -276,6 +281,13 @@ impl ShardedSystem {
         for m in &self.shards {
             lock(m).enable_shaper_timelines(window);
         }
+    }
+
+    /// Installs a live-progress heartbeat: the superstep coordinator
+    /// publishes (current cycle, supersteps completed, cycles skipped via
+    /// global quiescence warps) into the probe at every barrier.
+    pub fn set_progress_probe(&mut self, probe: dg_mon::ProgressProbe) {
+        self.progress = Some(probe);
     }
 
     /// Runs until every core finishes.
@@ -397,6 +409,8 @@ impl ShardedSystem {
         let mut t_hint = std::time::Duration::ZERO;
         let mut t_release = std::time::Duration::ZERO;
         let mut steps = 0u64;
+        let mut skipped_total = 0u64;
+        let probe = self.progress.clone();
 
         let mut now = self.now;
         let outcome = std::thread::scope(|scope| {
@@ -526,6 +540,9 @@ impl ShardedSystem {
                     }
                 };
                 if let Some(t) = stopped {
+                    if let Some(p) = &probe {
+                        p.record(now, steps, skipped_total);
+                    }
                     shutdown();
                     return Ok(t);
                 }
@@ -538,7 +555,12 @@ impl ShardedSystem {
                 for m in shards.iter() {
                     hint = earliest_event(hint, lock(m).next_start_hint(now));
                 }
+                let before_hint = now;
                 now = hint.map_or(limit, |t| t.clamp(now, limit));
+                skipped_total += now - before_hint;
+                if let Some(p) = &probe {
+                    p.record(now, steps, skipped_total);
+                }
                 t_hint += t4.elapsed();
             }
         });

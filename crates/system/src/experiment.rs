@@ -144,12 +144,43 @@ pub fn run_colocation_supervised(
     chunk: Cycle,
     should_abort: &mut dyn FnMut() -> bool,
 ) -> Result<ColocationResult, SimError> {
+    run_colocation_monitored(cfg, traces, kind, budget, chunk, should_abort, None)
+}
+
+/// [`run_colocation_supervised`] with a live-progress heartbeat: between
+/// supervision slices (and once at the end) the current simulated cycle
+/// and the engine's warp-skipped cycles are published into `probe`, so a
+/// monitor thread can watch the simulated clock advance and a stall
+/// watchdog can tell livelock from "slow but alive".
+///
+/// The probe is write-only from the simulation's perspective — publishing
+/// never reads back into simulation state — so results are byte-identical
+/// with or without it (the runner's observer-effect test enforces this).
+///
+/// # Errors
+///
+/// Returns [`SimError::Aborted`] when `should_abort` reports true, and
+/// [`SimError::Deadline`] when `budget` is exhausted first.
+pub fn run_colocation_monitored(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    budget: Cycle,
+    chunk: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+    probe: Option<&dg_mon::ProgressProbe>,
+) -> Result<ColocationResult, SimError> {
     let (mut sys, n) = {
         let _prof = dg_prof::span("setup");
         build_system(cfg, traces, kind, &ObsConfig::default())
     };
     let chunk = chunk.max(1);
     let mut spent: Cycle = 0;
+    let publish = |sys: &crate::system::System| {
+        if let Some(p) = probe {
+            p.record(sys.now(), 0, sys.engine_counters().warped_cycles);
+        }
+    };
     {
         let _prof = dg_prof::span("sim");
         loop {
@@ -163,6 +194,7 @@ pub fn run_colocation_supervised(
                 Ok(_) => break,
                 Err(SimError::Deadline { .. }) => {
                     spent += step;
+                    publish(&sys);
                     if spent >= budget {
                         return Err(SimError::Deadline { budget });
                     }
@@ -171,6 +203,7 @@ pub fn run_colocation_supervised(
             }
         }
     }
+    publish(&sys);
     let _prof = dg_prof::span("report");
     Ok(collect_results(cfg, &mut sys, n))
 }

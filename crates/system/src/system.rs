@@ -131,6 +131,13 @@ impl System {
         &self.l3
     }
 
+    /// Live engine telemetry (read-only): how the engine has covered
+    /// simulated time so far. Monitoring heartbeats read `warped_cycles`
+    /// from here between supervision slices.
+    pub fn engine_counters(&self) -> &EngineCounters {
+        &self.engine
+    }
+
     /// Installs an observability tracer on every component of the system
     /// (cores, shapers, memory controller).
     pub fn set_tracer(&mut self, tracer: Tracer) {
