@@ -71,19 +71,65 @@ echo "live: monitored report byte-identical; events stream populated"
 echo "=== stall watchdog smoke (dg-run --stall-s: stalled job aborted) ==="
 # DG_MON_TEST_STALL makes the matching job hold its simulated clock at
 # zero until a supervisor cancels it. The watchdog must diagnose the
-# stall within its budget, the sweep must exit nonzero, and the other
-# three jobs must still succeed.
-if DG_MON_TEST_STALL='+xz/dagguise' timeout 120 \
+# stall within its budget, the sweep must exit with the documented stall
+# class (4, not a generic failure), and the other three jobs must still
+# succeed.
+rc=0
+DG_MON_TEST_STALL='+xz/dagguise' timeout 120 \
   "$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
-  --stall-s 2 --out "$SMOKE_DIR/stalled.json"; then
-  echo "watchdog: sweep with a stalled job unexpectedly succeeded"; exit 1
-fi
+  --stall-s 2 --out "$SMOKE_DIR/stalled.json" || rc=$?
+[ "$rc" -eq 4 ] \
+  || { echo "watchdog: expected exit class 4 (stall), got $rc"; exit 1; }
 grep -q 'stall watchdog' "$SMOKE_DIR/stalled.json" \
   || { echo "watchdog: stall diagnosis missing from the report"; exit 1; }
 ok_jobs=$(grep -c '"error": null' "$SMOKE_DIR/stalled.json")
 [ "$ok_jobs" -eq 3 ] \
   || { echo "watchdog: expected 3 surviving jobs, saw $ok_jobs"; exit 1; }
-echo "watchdog: stalled job aborted with diagnosis, 3 healthy jobs finished"
+# The stalled job must land in the default quarantine with a diagnostics
+# bundle naming the stall.
+stall_bundle=$(ls "$SMOKE_DIR"/quarantine/smoke/*.json 2>/dev/null | head -1)
+[ -n "$stall_bundle" ] && grep -q 'stall watchdog' "$stall_bundle" \
+  || { echo "watchdog: quarantine bundle missing or without diagnosis"; exit 1; }
+echo "watchdog: stalled job aborted (exit 4), quarantined, 3 healthy jobs finished"
+
+echo "=== chaos gate (dg-fault: ENOSPC degradation + healthy resume) ==="
+# A planned disk-full fault lands mid-sweep on the journal stream. The
+# sweep must still finish every job and emit the canonical report, flip
+# the journal to degraded in-memory mode (exit class 3, infra), and a
+# later resume on a healthy disk must converge from the surviving
+# journal prefix to the byte-identical report with exit 0.
+full_journal=$(wc -c < "$SMOKE_DIR/smoke.jsonl")
+cut=$((full_journal / 2))
+rc=0
+"$DG_RUN" examples/smoke.toml --quiet --jobs 1 --retries 2 --escalation 1000 \
+  --journal "$SMOKE_DIR/chaos.jsonl" --fault-io "journal@${cut}:enospc" \
+  --out "$SMOKE_DIR/chaos.json" || rc=$?
+[ "$rc" -eq 3 ] \
+  || { echo "chaos: expected exit class 3 (infra), got $rc"; exit 1; }
+cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/chaos.json" \
+  || { echo "chaos: degraded run's report is not canonical"; exit 1; }
+degraded_journal=$(wc -c < "$SMOKE_DIR/chaos.jsonl")
+[ "$degraded_journal" -lt "$full_journal" ] \
+  || { echo "chaos: journal kept growing past the planned ENOSPC"; exit 1; }
+"$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
+  --resume "$SMOKE_DIR/chaos.jsonl" --out "$SMOKE_DIR/chaos_resumed.json"
+cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/chaos_resumed.json" \
+  || { echo "chaos: healthy resume diverged from the reference report"; exit 1; }
+echo "chaos: ENOSPC at byte $cut degraded gracefully; healthy resume byte-identical"
+
+echo "=== killpoint gate (resume from arbitrary crash prefixes) ==="
+# Three crash prefixes carved from the healthy journal — early, middle,
+# late — each must resume to the byte-identical merged report. (The
+# in-tree harness covers 56 seeded offsets; this is the end-to-end
+# binary-level spot check.)
+for cut in $((full_journal / 5)) $((full_journal / 2)) $((full_journal * 4 / 5)); do
+  head -c "$cut" "$SMOKE_DIR/smoke.jsonl" > "$SMOKE_DIR/kp.jsonl"
+  "$DG_RUN" examples/smoke.toml --quiet --jobs 2 --retries 2 --escalation 1000 \
+    --resume "$SMOKE_DIR/kp.jsonl" --out "$SMOKE_DIR/kp.json"
+  cmp "$SMOKE_DIR/smoke.json" "$SMOKE_DIR/kp.json" \
+    || { echo "killpoint: crash at journal byte $cut did not resume identically"; exit 1; }
+done
+echo "killpoint: 3 crash prefixes all resumed byte-identical"
 
 echo "=== leakage smoke (dg-run --leak: security regression gate) ==="
 # Two tiny jobs with the covert-channel leakage probe forced on: the

@@ -1,0 +1,218 @@
+//! Planned host-IO faults: what fails, where, and how often.
+//!
+//! A fault is addressed by *stream* (which artifact), *byte offset*
+//! (where in the stream's lifetime byte count), and *kind* (which errno
+//! shape). Offsets are cumulative bytes written through the sink since
+//! it was opened on a fresh file (or since the start of the existing
+//! file when appending), so a plan replays identically against the same
+//! write sequence regardless of host timing.
+
+use std::fmt;
+
+/// Which artifact stream a fault targets. The runner routes each durable
+/// artifact through a [`FaultSink`](crate::FaultSink) tagged with one of
+/// these, so a plan can fill the disk under the journal while leaving
+/// the report path healthy (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStream {
+    /// The crash-safe job journal (`--journal`).
+    Journal,
+    /// The live-telemetry events stream (`--events`).
+    Events,
+    /// Merged report artifacts (`--out` and siblings).
+    Report,
+}
+
+impl IoStream {
+    /// The stable spec-string name.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoStream::Journal => "journal",
+            IoStream::Events => "events",
+            IoStream::Report => "report",
+        }
+    }
+
+    /// Resolves a spec-string name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "journal" => Some(IoStream::Journal),
+            "events" => Some(IoStream::Events),
+            "report" => Some(IoStream::Report),
+            _ => None,
+        }
+    }
+}
+
+/// The errno shape an injected IO failure takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// `ENOSPC`: the disk is full from the fault's byte offset on. Writes
+    /// that would carry the stream past the offset fail persistently (the
+    /// space never comes back within the run) — the runner's cue to
+    /// degrade, not retry.
+    Enospc,
+    /// `EINTR`: the write is interrupted before transferring anything.
+    /// Transient — a bounded retry succeeds once the fault's repeat count
+    /// is exhausted.
+    Eintr,
+    /// A short write: bytes up to the fault offset are transferred, the
+    /// rest are not, and the call fails with an interrupted error.
+    /// Transient, but only a sink that tracks its own byte position can
+    /// resume without duplicating the prefix.
+    Partial,
+    /// `fsync` fails with `EIO` once the stream has reached the fault
+    /// offset. Persistent: after a failed fsync the kernel may have
+    /// dropped the dirty pages, so durability of the tail is gone either
+    /// way.
+    FsyncFail,
+}
+
+impl IoFaultKind {
+    /// The stable spec-string name.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoFaultKind::Enospc => "enospc",
+            IoFaultKind::Eintr => "eintr",
+            IoFaultKind::Partial => "partial",
+            IoFaultKind::FsyncFail => "fsync",
+        }
+    }
+
+    /// Resolves a spec-string name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "enospc" => Some(IoFaultKind::Enospc),
+            "eintr" => Some(IoFaultKind::Eintr),
+            "partial" => Some(IoFaultKind::Partial),
+            "fsync" => Some(IoFaultKind::FsyncFail),
+            _ => None,
+        }
+    }
+
+    /// How many times this kind fires by default: transient kinds fire
+    /// once (then the "signal" or "scheduler hiccup" has passed),
+    /// persistent kinds fire forever (`0` = unlimited — a full disk stays
+    /// full).
+    pub fn default_times(self) -> u32 {
+        match self {
+            IoFaultKind::Enospc | IoFaultKind::FsyncFail => 0,
+            IoFaultKind::Eintr | IoFaultKind::Partial => 1,
+        }
+    }
+}
+
+/// One planned IO fault: `stream@byte:kind[xN]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// The artifact stream to fault.
+    pub stream: IoStream,
+    /// Cumulative byte offset in the stream at which the fault arms.
+    pub at_byte: u64,
+    /// The errno shape.
+    pub kind: IoFaultKind,
+    /// How many times the fault fires (`0` = unlimited).
+    pub times: u32,
+}
+
+impl IoFault {
+    /// Parses one fault spec of the form `stream@byte:kind` with an
+    /// optional `xN` repeat suffix, e.g. `journal@300:enospc` or
+    /// `events@0:eintrx3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed specs.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let bad = || format!("bad fault spec `{spec}` (expected stream@byte:kind[xN])");
+        let (stream_s, rest) = spec.split_once('@').ok_or_else(bad)?;
+        let (byte_s, kind_s) = rest.split_once(':').ok_or_else(bad)?;
+        let stream = IoStream::by_name(stream_s).ok_or_else(|| {
+            format!("unknown fault stream `{stream_s}` (expected journal, events, or report)")
+        })?;
+        let at_byte: u64 = byte_s
+            .parse()
+            .map_err(|_| format!("bad fault byte offset `{byte_s}` in `{spec}`"))?;
+        let (kind_name, times) = match kind_s.split_once('x') {
+            Some((k, n)) => {
+                let times: u32 = n
+                    .parse()
+                    .map_err(|_| format!("bad fault repeat count `{n}` in `{spec}`"))?;
+                (k, Some(times))
+            }
+            None => (kind_s, None),
+        };
+        let kind = IoFaultKind::by_name(kind_name).ok_or_else(|| {
+            format!("unknown fault kind `{kind_name}` (expected enospc, eintr, partial, or fsync)")
+        })?;
+        Ok(IoFault {
+            stream,
+            at_byte,
+            kind,
+            times: times.unwrap_or_else(|| kind.default_times()),
+        })
+    }
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}:{}",
+            self.stream.label(),
+            self.at_byte,
+            self.kind.label()
+        )?;
+        if self.times != self.kind.default_times() {
+            write!(f, "x{}", self.times)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let f = IoFault::parse("journal@300:enospc").unwrap();
+        assert_eq!(f.stream, IoStream::Journal);
+        assert_eq!(f.at_byte, 300);
+        assert_eq!(f.kind, IoFaultKind::Enospc);
+        assert_eq!(f.times, 0, "enospc is persistent by default");
+
+        let f = IoFault::parse("events@0:eintrx3").unwrap();
+        assert_eq!(f.stream, IoStream::Events);
+        assert_eq!(f.kind, IoFaultKind::Eintr);
+        assert_eq!(f.times, 3);
+
+        let f = IoFault::parse("report@17:partial").unwrap();
+        assert_eq!(f.times, 1, "partial writes are one-shot by default");
+        assert_eq!(IoFault::parse("journal@40:fsync").unwrap().times, 0);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in ["journal@300:enospc", "events@0:eintrx3", "report@9:partial"] {
+            let f = IoFault::parse(spec).unwrap();
+            assert_eq!(f.to_string(), spec);
+            assert_eq!(IoFault::parse(&f.to_string()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "journal300:enospc",
+            "journal@300",
+            "disk@300:enospc",
+            "journal@xyz:enospc",
+            "journal@300:rain",
+            "journal@300:eintrxq",
+            "",
+        ] {
+            assert!(IoFault::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Transient-vs-persistent IO error classification and bounded retry.
+//!
+//! The split drives the runner's whole degradation story: transient
+//! errors (`EINTR`, interrupted or partial writes) are retried in place
+//! with exponential backoff because the next attempt can genuinely
+//! succeed; persistent errors (`ENOSPC`, fsync `EIO`, permissions)
+//! surface immediately so the caller can flip to a degraded mode instead
+//! of burning wall-clock on a disk that will still be full in a second.
+
+use std::io;
+use std::time::Duration;
+
+/// Bounded exponential-backoff retry for transient IO errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (zero-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let mult = 1u32 << retry.min(16);
+        self.base.saturating_mul(mult).min(self.max)
+    }
+}
+
+/// Whether an IO error is worth retrying: interruptions and timeouts
+/// are; full disks, bad file descriptors, and failed fsyncs are not.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op`, retrying transient failures (see [`is_transient`]) under
+/// `policy`. The first success, first persistent error, or the final
+/// attempt's error is returned.
+///
+/// # Errors
+///
+/// The terminal error of the last attempt.
+pub fn retry_io<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut retry = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && retry + 1 < attempts => {
+                std::thread::sleep(policy.backoff(retry));
+                retry += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_micros(10),
+            max: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn classification_matches_errno_shapes() {
+        assert!(is_transient(&io::Error::from_raw_os_error(4))); // EINTR
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::Interrupted,
+            "partial"
+        )));
+        assert!(!is_transient(&io::Error::from_raw_os_error(28))); // ENOSPC
+        assert!(!is_transient(&io::Error::other("fsync EIO")));
+        assert!(!is_transient(&io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "ro fs"
+        )));
+    }
+
+    #[test]
+    fn transient_errors_retry_to_success() {
+        let mut left = 2;
+        let out = retry_io(&quick(), || {
+            if left > 0 {
+                left -= 1;
+                Err(io::Error::from_raw_os_error(4))
+            } else {
+                Ok(7)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn persistent_errors_fail_fast() {
+        let mut calls = 0;
+        let err = retry_io(&quick(), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::from_raw_os_error(28))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "ENOSPC must not be retried");
+        assert_eq!(err.raw_os_error(), Some(28));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let mut calls = 0;
+        let err = retry_io(&quick(), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::from_raw_os_error(4))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 4, "attempts bound includes the first try");
+        assert!(is_transient(&err));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = quick();
+        assert_eq!(p.backoff(0), Duration::from_micros(10));
+        assert_eq!(p.backoff(1), Duration::from_micros(20));
+        assert_eq!(p.backoff(9), Duration::from_micros(100));
+    }
+}

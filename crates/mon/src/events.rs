@@ -9,8 +9,9 @@
 //! journal the stream is observability, not recovery state, so appends
 //! flush but do not fsync.
 
+use dg_fault::{retry_io, FaultSink, IoPlan, IoStream, RetryPolicy};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
 use crate::telemetry::TelemetrySnapshot;
@@ -86,8 +87,13 @@ pub fn truncate_events(path: &Path, valid_len: u64) -> io::Result<()> {
 
 /// Appends snapshots to an events file, stamping each with the next
 /// sequence number.
+///
+/// Writes go through a [`FaultSink`] so transient interruptions retry at
+/// the exact byte; with an unarmed [`IoPlan`] (the [`EventsWriter::open`]
+/// path) the sink is a plain file writer.
 pub struct EventsWriter {
-    out: BufWriter<File>,
+    sink: FaultSink,
+    retry: RetryPolicy,
     next_seq: u64,
 }
 
@@ -98,11 +104,11 @@ impl EventsWriter {
     /// duplicate snapshots. Without `resume` the file is recreated and
     /// numbering starts at 1.
     pub fn open(path: &Path, resume: bool) -> io::Result<(Self, bool)> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        Self::open_faulted(path, resume, &IoPlan::none())
+    }
+
+    /// [`EventsWriter::open`] with an injectable fault plan.
+    pub fn open_faulted(path: &Path, resume: bool, plan: &IoPlan) -> io::Result<(Self, bool)> {
         let mut repaired_tail = false;
         let next_seq = if resume && path.exists() {
             let scan = scan_events(path)?;
@@ -114,29 +120,33 @@ impl EventsWriter {
         } else {
             1
         };
-        let file = if resume && path.exists() {
-            OpenOptions::new().append(true).open(path)?
+        let sink = if resume && path.exists() {
+            FaultSink::open_append(path, IoStream::Events, plan.clone())?
         } else {
-            File::create(path)?
+            FaultSink::create(path, IoStream::Events, plan.clone())?
         };
         Ok((
             EventsWriter {
-                out: BufWriter::new(file),
+                sink,
+                retry: RetryPolicy::default(),
                 next_seq,
             },
             repaired_tail,
         ))
     }
 
-    /// Stamps `snap.seq` and appends it as one line. Flushes so an
-    /// external tail sees the line promptly, but does not fsync.
+    /// Stamps `snap.seq` and appends it as one line, retrying transient
+    /// write errors in place. Unlike the journal there is no fsync —
+    /// the stream is observability, not recovery state.
     pub fn append(&mut self, snap: &mut TelemetrySnapshot) -> io::Result<()> {
         snap.seq = self.next_seq;
         self.next_seq += 1;
         let line = serde_json::to_string(snap)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        writeln!(self.out, "{line}")?;
-        self.out.flush()
+        let Self { sink, retry, .. } = self;
+        sink.stage(line.as_bytes());
+        sink.stage(b"\n");
+        retry_io(retry, || sink.drain())
     }
 
     pub fn next_seq(&self) -> u64 {

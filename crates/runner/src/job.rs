@@ -16,6 +16,14 @@ pub trait JobDesc: Send + Sync {
     /// The stable job id. Must be unique within a sweep and a pure
     /// function of the experiment parameters (never of scheduling state).
     fn id(&self) -> &str;
+
+    /// A JSON description of the job's parameters, embedded in quarantine
+    /// diagnostics bundles so a failed job can be reproduced without the
+    /// original spec file. The default carries only the id; jobs with
+    /// richer parameters should override it.
+    fn manifest(&self) -> Value {
+        Value::Map(vec![("id".to_string(), self.id().to_value())])
+    }
 }
 
 /// Derives a job's deterministic RNG seed from its stable id.

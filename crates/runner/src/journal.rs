@@ -9,9 +9,10 @@
 //! not a crash artifact but a damaged journal.
 
 use crate::job::JobRecord;
+use dg_fault::{retry_io, FaultSink, IoPlan, IoStream, RetryPolicy};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
 /// One journal line: a terminal [`JobRecord`] plus non-canonical wall-clock
@@ -71,8 +72,15 @@ impl<R: Deserialize> Deserialize for JournalEntry<R> {
 }
 
 /// Appends journal lines with write-through durability.
+///
+/// Writes go through a [`FaultSink`], so an injected (or real) transient
+/// interruption is retried in place — the sink's staged-record design
+/// resumes a partial write at the exact byte, never duplicating a line
+/// prefix mid-file. With an unarmed [`IoPlan`] (the
+/// [`JournalWriter::open_append`] path) the sink is a plain file writer.
 pub struct JournalWriter {
-    out: BufWriter<File>,
+    sink: FaultSink,
+    retry: RetryPolicy,
 }
 
 impl JournalWriter {
@@ -82,17 +90,26 @@ impl JournalWriter {
     ///
     /// Propagates filesystem errors.
     pub fn open_append(path: &Path) -> io::Result<Self> {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir)?;
-        }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Self::open_append_faulted(path, &IoPlan::none())
+    }
+
+    /// [`JournalWriter::open_append`] with an injectable fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_append_faulted(path: &Path, plan: &IoPlan) -> io::Result<Self> {
         Ok(Self {
-            out: BufWriter::new(file),
+            sink: FaultSink::open_append(path, IoStream::Journal, plan.clone())?,
+            retry: RetryPolicy::default(),
         })
     }
 
     /// Appends one entry as a JSON line and fsyncs it to disk before
     /// returning, so a kill after this call can never lose the entry.
+    /// Transient write errors (`EINTR`, partial writes) are retried with
+    /// bounded backoff; persistent ones (`ENOSPC`, fsync failure) surface
+    /// to the caller, whose cue is to degrade, not to spin.
     ///
     /// # Errors
     ///
@@ -100,10 +117,11 @@ impl JournalWriter {
     pub fn append<R: Serialize>(&mut self, entry: &JournalEntry<R>) -> io::Result<()> {
         let line = serde_json::to_string(entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.out.write_all(line.as_bytes())?;
-        self.out.write_all(b"\n")?;
-        self.out.flush()?;
-        self.out.get_ref().sync_data()
+        let Self { sink, retry } = self;
+        sink.stage(line.as_bytes());
+        sink.stage(b"\n");
+        retry_io(retry, || sink.drain())?;
+        retry_io(retry, || sink.sync_data())
     }
 }
 
@@ -270,5 +288,112 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(replay_journal::<u64>(Path::new("/nonexistent/journal.jsonl")).is_err());
+    }
+
+    #[test]
+    fn empty_and_newline_only_files_replay_cleanly() {
+        for (name, contents) in [("empty", ""), ("newlines", "\n\n\n"), ("crlf", "\r\n\r\n")] {
+            let path = tmp(name);
+            std::fs::write(&path, contents).unwrap();
+            let replay = replay_journal::<u64>(&path).unwrap();
+            assert!(replay.entries.is_empty(), "{name}");
+            assert!(!replay.dropped_partial_tail, "{name}");
+            assert_eq!(replay.valid_len, 0, "{name}");
+            // The "repair" degenerates to truncating to zero — and the
+            // file stays appendable.
+            truncate_journal(&path, replay.valid_len).unwrap();
+            let mut w = JournalWriter::open_append(&path).unwrap();
+            w.append(&entry("a", 1)).unwrap();
+            drop(w);
+            assert_eq!(replay_journal::<u64>(&path).unwrap().entries.len(), 1);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn garbage_interleaved_with_valid_lines_is_rejected() {
+        // An append-only journal can only ever be damaged at its end;
+        // garbage *between* valid lines means something else rewrote the
+        // file, and resuming from it silently would be worse than failing.
+        let path = tmp("interleaved");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("a", 1)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("!!! not json !!!\n");
+        std::fs::write(&path, &text).unwrap();
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("b", 2)).unwrap();
+        drop(w);
+
+        let err = replay_journal::<u64>(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("line 2"),
+            "diagnosis should name the damaged line: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn two_damaged_trailing_lines_are_not_a_tail() {
+        // Tolerance extends to exactly one torn line: two bad lines in a
+        // row cannot come from one kill-mid-append.
+        let path = tmp("double_tail");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&entry("a", 1)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\":\"b\"\n{\"id\":\"c\",\"atte");
+        std::fs::write(&path, &text).unwrap();
+        let err = replay_journal::<u64>(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_replay_in_order_so_the_last_wins() {
+        // Resume cycles legitimately append a second terminal entry for
+        // the same id (e.g. a job that failed, then succeeded on the
+        // re-run). Replay preserves file order; the runner's resume map
+        // inserts in order, so the last entry is authoritative.
+        let path = tmp("dup_ids");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&JournalEntry::<u64> {
+            id: "a".into(),
+            attempts: 1,
+            output: None,
+            error: Some("transient".into()),
+            wall_ms: 1,
+        })
+        .unwrap();
+        w.append(&entry("a", 42)).unwrap();
+        drop(w);
+        let replay = replay_journal::<u64>(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.entries[0].error.as_deref(), Some("transient"));
+        assert_eq!(replay.entries[1].output, Some(42));
+
+        // Through the runner: the failed first entry must not shadow the
+        // later success — the job is skipped, keeping the journaled 42.
+        struct J;
+        impl crate::job::JobDesc for J {
+            fn id(&self) -> &str {
+                "a"
+            }
+        }
+        let cfg = crate::runner::RunnerConfig {
+            jobs: 1,
+            verbose: false,
+            resume: Some(path.clone()),
+            ..Default::default()
+        };
+        let out = crate::runner::run_sweep(&cfg, &[J], |_j: &J, _c: &_| Ok(7u64)).unwrap();
+        assert_eq!(out.progress.skipped, 1, "last entry wins, job skipped");
+        assert_eq!(out.records[0].output, Some(42));
+        std::fs::remove_file(&path).unwrap();
     }
 }

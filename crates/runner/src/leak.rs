@@ -153,6 +153,7 @@ mod tests {
         SweepOutcome {
             records,
             progress: SweepProgress::default(),
+            health: Default::default(),
         }
     }
 

@@ -10,8 +10,11 @@
 //! * **Journal** ([`journal`]) — an append-only fsynced JSONL checkpoint
 //!   enabling `--resume` after a crash or kill.
 //! * **Runner** ([`runner`]) — supervision: retries with budget
-//!   escalation on [`SimError::Deadline`](dg_sim::error::SimError),
-//!   panic isolation, optional cooperative wall-clock timeouts, and
+//!   escalation on [`SimError::Deadline`](dg_sim::error::SimError)
+//!   (and, opt-in, on stall-watchdog cancellations), panic isolation,
+//!   optional cooperative wall-clock timeouts, graceful journal
+//!   degradation with a [`SweepHealth`] record and [`ExitClass`]
+//!   taxonomy, quarantine bundles for terminally failed jobs, and
 //!   deterministic merging into a canonical report.
 //! * **Specs** ([`spec`], [`toml`]) — declarative TOML/JSON sweep grids
 //!   for `dg-run`.
@@ -52,7 +55,7 @@ pub use pool::{effective_jobs, run_work_stealing};
 pub use profile::{
     host_cost_leaderboard, host_cost_table, merged_profile, profile_report_json, HostCostRow,
 };
-pub use runner::{run_sweep, RunnerConfig, SweepOutcome};
+pub use runner::{run_sweep, ExitClass, RunnerConfig, SweepHealth, SweepOutcome};
 pub use scale::Scale;
 pub use spec::{execute_job, ColocationJob, ExperimentSpec, GridSpec, OverrideSpec, VictimKind};
 pub use toml::parse_toml;

@@ -19,6 +19,7 @@
 use crate::job::{job_seed, JobCtx, JobDesc, JobRecord};
 use crate::journal::{replay_journal, JournalEntry, JournalWriter};
 use crate::pool::{effective_jobs, run_work_stealing};
+use dg_fault::IoPlan;
 use dg_mon::{log_error, log_warn, Dashboard, EventsWriter, MonitorConfig, MonitorHub};
 use dg_obs::{ProgressMeter, SweepProgress};
 use dg_sim::error::SimError;
@@ -27,7 +28,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,6 +58,25 @@ pub struct RunnerConfig {
     pub verbose: bool,
     /// Live-telemetry options: dashboard, events stream, stall watchdog.
     pub monitor: MonitorConfig,
+    /// Whether watchdog-cancelled (stalled) jobs are eligible for the
+    /// same `retries` budget as deadline failures. Off by default: a
+    /// stall is host-dependent, so canonical sweeps should not retry it
+    /// silently — chaos sweeps opt in to prove the recovery path.
+    pub retry_stalled: bool,
+    /// Failure budget: the sweep exits successfully as long as at most
+    /// this many jobs fail terminally (they are still reported and, when
+    /// configured, quarantined).
+    pub max_failures: u64,
+    /// Directory for quarantine diagnostics bundles — one JSON file per
+    /// terminally failed job (spec slice, seed, attempts, last heartbeat,
+    /// repro command). `None` disables bundling.
+    pub quarantine: Option<PathBuf>,
+    /// Planned IO faults for the journal/events/report streams. The
+    /// default unarmed plan is exact passthrough.
+    pub fault_io: IoPlan,
+    /// Command prefix (e.g. `dg-run spec.toml`) used to render the repro
+    /// command inside quarantine bundles.
+    pub repro_prefix: Option<String>,
 }
 
 impl Default for RunnerConfig {
@@ -71,6 +91,74 @@ impl Default for RunnerConfig {
             resume: None,
             verbose: true,
             monitor: MonitorConfig::default(),
+            retry_stalled: false,
+            max_failures: 0,
+            quarantine: None,
+            fault_io: IoPlan::none(),
+            repro_prefix: None,
+        }
+    }
+}
+
+/// Infrastructure health of a finished sweep, tracked *alongside* the
+/// records rather than replacing them: IO failures degrade the run (and
+/// its exit code) but never discard results that were computed in memory.
+/// Everything here is host-dependent, so none of it appears in the
+/// canonical merged report — it surfaces via logs and exit codes only.
+#[derive(Debug, Clone, Default)]
+pub struct SweepHealth {
+    /// The journal hit a persistent write error mid-sweep and was flipped
+    /// to in-memory degraded mode: completed results are preserved and
+    /// merged, but crash-resume safety is lost from that point on.
+    pub journal_degraded: bool,
+    /// Human-readable descriptions of infrastructure IO failures
+    /// (journal degradation, events-stream write errors, artifact write
+    /// failures appended by the CLI).
+    pub io_errors: Vec<String>,
+    /// `(job id, bundle path)` for every quarantine bundle written.
+    pub quarantined: Vec<(String, PathBuf)>,
+    /// Terminally failed jobs whose diagnosis names the stall watchdog.
+    pub stalled: u64,
+    /// The failure budget the sweep ran under (`RunnerConfig::max_failures`).
+    pub failure_budget: u64,
+}
+
+impl SweepHealth {
+    /// Whether sweep infrastructure (journal, events, artifacts) failed,
+    /// independent of job outcomes.
+    pub fn infra_failed(&self) -> bool {
+        self.journal_degraded || !self.io_errors.is_empty()
+    }
+}
+
+/// The documented exit-code taxonomy for sweep binaries. Ordered by
+/// precedence: infrastructure damage outranks job failures (the report
+/// exists but its durability story is broken), and a within-budget sweep
+/// is a success even with failed jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitClass {
+    /// Every job succeeded, or failures stayed within `max_failures`.
+    Success,
+    /// Jobs failed beyond the failure budget (bad config points, panics).
+    JobFailures,
+    /// Sweep infrastructure failed: journal degraded, events stream or
+    /// artifact writes errored. Results may be complete but durability /
+    /// observability is compromised — rerun on a healthy disk.
+    Infra,
+    /// Over-budget failures dominated by stall-watchdog cancellations:
+    /// the models livelocked rather than returning wrong answers.
+    Stall,
+}
+
+impl ExitClass {
+    /// The process exit code (2 is reserved for usage/spec errors,
+    /// assigned by the CLI before a sweep ever runs).
+    pub fn code(self) -> u8 {
+        match self {
+            ExitClass::Success => 0,
+            ExitClass::JobFailures => 1,
+            ExitClass::Infra => 3,
+            ExitClass::Stall => 4,
         }
     }
 }
@@ -82,6 +170,8 @@ pub struct SweepOutcome<R> {
     pub records: Vec<JobRecord<R>>,
     /// Scheduling statistics (wall-clock fields are display-only).
     pub progress: SweepProgress,
+    /// Infrastructure health (degraded journal, IO errors, quarantine).
+    pub health: SweepHealth,
 }
 
 impl<R> SweepOutcome<R> {
@@ -100,6 +190,23 @@ impl<R> SweepOutcome<R> {
         self.records
             .iter()
             .filter_map(|r| r.output.as_ref().map(|o| (r.id.as_str(), o)))
+    }
+
+    /// Classifies the finished sweep for the exit-code taxonomy (see
+    /// [`ExitClass`]). Precedence: infrastructure damage first, then the
+    /// failure budget, then stall-vs-plain-failure.
+    pub fn exit_class(&self) -> ExitClass {
+        if self.health.infra_failed() {
+            return ExitClass::Infra;
+        }
+        let failures = self.records.iter().filter(|r| !r.is_ok()).count() as u64;
+        if failures <= self.health.failure_budget {
+            ExitClass::Success
+        } else if self.health.stalled > 0 {
+            ExitClass::Stall
+        } else {
+            ExitClass::JobFailures
+        }
     }
 
     /// Prints failing job ids with their errors to stderr and reports
@@ -153,9 +260,12 @@ impl<R: Serialize> SweepOutcome<R> {
 ///
 /// # Errors
 ///
-/// Duplicate job ids, an unreadable resume journal, or a journal write
-/// failure (results are computed but resume safety is lost, so the sweep
-/// reports the error rather than pretending the journal is intact).
+/// Duplicate job ids, an unreadable resume journal, or failure to *open*
+/// the journal/events files (a bad path should fail before hours of
+/// simulation). A journal write failure mid-sweep is NOT an error: the
+/// journal degrades to in-memory mode, completed results are kept and
+/// merged, and the damage is surfaced through [`SweepOutcome::health`]
+/// (and the [`ExitClass::Infra`] exit code) instead.
 pub fn run_sweep<J, R, F>(cfg: &RunnerConfig, jobs: &[J], exec: F) -> io::Result<SweepOutcome<R>>
 where
     J: JobDesc,
@@ -197,11 +307,13 @@ where
     meter.skipped(resumed.len() as u64);
 
     let journal_path = cfg.journal.as_ref().or(cfg.resume.as_ref());
-    let journal: Option<Mutex<JournalWriter>> = match journal_path {
-        Some(path) => Some(Mutex::new(JournalWriter::open_append(path)?)),
+    let journal: Option<Mutex<JournalState>> = match journal_path {
+        Some(path) => Some(Mutex::new(JournalState {
+            writer: Some(JournalWriter::open_append_faulted(path, &cfg.fault_io)?),
+            error: None,
+        })),
         None => None,
     };
-    let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
 
     let pending: Vec<usize> = (0..jobs.len())
         .filter(|&i| !resumed.contains_key(jobs[i].id()))
@@ -214,16 +326,20 @@ where
     let monitoring = Monitoring::start(cfg, jobs, &pending, resumed.len() as u64)?;
 
     let results: Mutex<Vec<JobRecord<R>>> = Mutex::new(Vec::with_capacity(pending.len()));
+    let quarantined: Mutex<Vec<(String, PathBuf)>> = Mutex::new(Vec::new());
+    let quarantine_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
     run_work_stealing(pending, cfg.jobs, |worker, job_idx| {
         let job = &jobs[job_idx];
         let id = job.id();
         let started = Instant::now();
         let mut attempt: u32 = 0;
+        let mut last_probe = None;
         let (output, error) = loop {
             let probe = monitoring
                 .as_ref()
                 .map(|m| m.hub.begin_job(worker, id, attempt));
+            last_probe.clone_from(&probe);
             let ctx = JobCtx {
                 seed: job_seed(id),
                 attempt,
@@ -233,7 +349,10 @@ where
             };
             match catch_unwind(AssertUnwindSafe(|| exec(job, &ctx))) {
                 Ok(Ok(r)) => break (Some(r), None),
-                Ok(Err(e @ SimError::Deadline { .. })) if attempt < cfg.retries => {
+                Ok(Err(e))
+                    if attempt < cfg.retries
+                        && retry_eligible(&e, cfg.retry_stalled, probe.as_ref()) =>
+                {
                     if cfg.verbose {
                         log_warn!(
                             "retrying {id} after {e}";
@@ -279,6 +398,31 @@ where
             m.hub
                 .end_job(worker, record.is_ok(), started.elapsed().as_millis() as u64);
         }
+        if let (Some(err), Some(dir)) = (&record.error, &cfg.quarantine) {
+            // Quarantine the job's diagnostics so the sweep can keep going
+            // while a human (or a repro run) picks the failure apart later.
+            match write_quarantine_bundle(
+                dir,
+                job,
+                err,
+                record.attempts,
+                last_probe.as_ref(),
+                cfg,
+                started.elapsed().as_millis() as u64,
+            ) {
+                Ok(bundle) => {
+                    log_warn!(
+                        "quarantined {id}";
+                        "job" => id,
+                        "bundle" => bundle.display()
+                    );
+                    quarantined.lock().push((id.to_string(), bundle));
+                }
+                Err(e) => quarantine_errors
+                    .lock()
+                    .push(format!("quarantine bundle for {id}: {e}")),
+            }
+        }
         if let Some(journal) = &journal {
             let entry = JournalEntry {
                 id: record.id.clone(),
@@ -287,30 +431,159 @@ where
                 error: record.error.clone(),
                 wall_ms: started.elapsed().as_millis() as u64,
             };
-            if let Err(e) = journal.lock().append(&entry) {
-                journal_err.lock().get_or_insert(e);
+            let mut state = journal.lock();
+            if let Some(w) = &mut state.writer {
+                if let Err(e) = w.append(&entry) {
+                    // Graceful degradation, not fail-fast: drop the writer
+                    // (later completions stay in memory), record the damage,
+                    // and let the sweep finish — losing resume safety must
+                    // not also lose the results already computed.
+                    log_error!(
+                        "journal write failed — degrading to in-memory results \
+                         (crash-resume safety lost from here on): {e}";
+                        "job" => id
+                    );
+                    state.writer = None;
+                    state.error = Some(e.to_string());
+                }
             }
         }
         meter.job_done(id, record.is_ok(), record.attempts);
         results.lock().push(record);
     });
 
+    let mut health = SweepHealth {
+        failure_budget: cfg.max_failures,
+        quarantined: quarantined.into_inner(),
+        io_errors: quarantine_errors.into_inner(),
+        ..SweepHealth::default()
+    };
+
     if let Some(m) = monitoring {
-        m.finish()?;
+        if let Err(e) = m.finish() {
+            // Telemetry-plane IO failures degrade the run's health; they
+            // never invalidate the computed records.
+            health.io_errors.push(format!("events stream: {e}"));
+        }
     }
 
-    if let Some(e) = journal_err.into_inner() {
-        return Err(e);
+    if let Some(state) = journal {
+        let state = state.into_inner();
+        if let Some(e) = state.error {
+            health.journal_degraded = true;
+            health.io_errors.push(format!("journal: {e}"));
+        }
     }
 
     let mut records = results.into_inner();
     records.extend(resumed.into_values().map(JournalEntry::into_record));
     records.sort_by(|a, b| a.id.cmp(&b.id));
+    health.stalled = records
+        .iter()
+        .filter(|r| {
+            r.error
+                .as_deref()
+                .is_some_and(|e| e.contains("stall watchdog"))
+        })
+        .count() as u64;
 
     Ok(SweepOutcome {
         records,
         progress: meter.summary(),
+        health,
     })
+}
+
+/// The journal write path of one sweep: present and healthy, or degraded
+/// (writer dropped, first error kept) after a persistent IO failure.
+struct JournalState {
+    writer: Option<JournalWriter>,
+    error: Option<String>,
+}
+
+/// Whether a failed attempt is eligible for the retry budget. Deadline
+/// exhaustion always is (escalation gives the retry more headroom); a
+/// supervisor abort is only when it was the *stall watchdog* and the
+/// sweep opted in via `retry_stalled` — a fresh attempt genuinely clears
+/// transient livelocks, but canonical sweeps want the diagnosis instead.
+fn retry_eligible(
+    e: &SimError,
+    retry_stalled: bool,
+    probe: Option<&dg_mon::ProgressProbe>,
+) -> bool {
+    match e {
+        SimError::Deadline { .. } => true,
+        SimError::Aborted(_) => {
+            retry_stalled
+                && probe
+                    .and_then(|p| p.cancel_reason())
+                    .is_some_and(|r| r.starts_with("stall watchdog"))
+        }
+        _ => false,
+    }
+}
+
+/// Replaces every byte that is not `[A-Za-z0-9._-]` so a job id (which
+/// uses `/` freely) becomes one flat file name.
+fn quarantine_slug(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes one quarantine diagnostics bundle: everything needed to triage
+/// and reproduce a terminally failed job without the original sweep —
+/// the job manifest, its deterministic seed, the failure diagnosis, the
+/// last heartbeat the monitoring plane saw, and a ready-to-paste repro
+/// command.
+fn write_quarantine_bundle<J: JobDesc>(
+    dir: &Path,
+    job: &J,
+    error: &str,
+    attempts: u32,
+    probe: Option<&dg_mon::ProgressProbe>,
+    cfg: &RunnerConfig,
+    wall_ms: u64,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let id = job.id();
+    let heartbeat = match probe {
+        Some(p) => Value::Map(vec![
+            ("sim_cycles".to_string(), p.sim_cycles().to_value()),
+            ("supersteps".to_string(), p.supersteps().to_value()),
+            ("skipped_cycles".to_string(), p.skipped_cycles().to_value()),
+            ("cancelled".to_string(), p.cancelled().to_value()),
+            ("cancel_reason".to_string(), p.cancel_reason().to_value()),
+        ]),
+        None => Value::Null,
+    };
+    let repro = format!(
+        "{} --only '{id}' --retries {} --escalation {}",
+        cfg.repro_prefix.as_deref().unwrap_or("dg-run <SPEC.toml>"),
+        cfg.retries,
+        cfg.escalation
+    );
+    let doc = Value::Map(vec![
+        ("id".to_string(), id.to_value()),
+        ("seed".to_string(), job_seed(id).to_value()),
+        ("attempts".to_string(), attempts.to_value()),
+        ("error".to_string(), error.to_value()),
+        ("job".to_string(), job.manifest()),
+        ("last_heartbeat".to_string(), heartbeat),
+        ("repro".to_string(), repro.to_value()),
+        ("wall_ms".to_string(), wall_ms.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&doc)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let path = dir.join(format!("{}.json", quarantine_slug(id)));
+    std::fs::write(&path, json)?;
+    Ok(path)
 }
 
 /// The live-monitoring side plane of one sweep: the heartbeat hub plus
@@ -347,7 +620,8 @@ impl Monitoring {
         // continues the sequence numbering.
         let events = match &cfg.monitor.events {
             Some(path) => {
-                let (writer, repaired) = EventsWriter::open(path, cfg.resume.is_some())?;
+                let (writer, repaired) =
+                    EventsWriter::open_faulted(path, cfg.resume.is_some(), &cfg.fault_io)?;
                 if repaired {
                     log_warn!(
                         "dropped partial trailing events line";

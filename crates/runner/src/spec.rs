@@ -13,6 +13,7 @@ use crate::scale::Scale;
 use crate::toml::parse_toml;
 use dg_attacks::{run_covert_channel_estimated, CovertConfig};
 use dg_defenses::IntervalDistribution;
+use dg_fault::{draw_sim_fault, SimFault};
 use dg_obs::LeakSummary;
 use dg_rdag::template::RdagTemplate;
 use dg_sim::config::SystemConfig;
@@ -148,6 +149,24 @@ pub struct ExperimentSpec {
     /// classic single-threaded [`dg_system::System`]; jobs may still be
     /// switched onto the sharded path per-process via `DG_SHARDS`.
     pub shards: Option<usize>,
+    /// Seed for the deterministic simulation-fault plan (spec table
+    /// `[fault] seed = N`, or `dg-run --fault-seed N`). `None` disables
+    /// fault injection entirely; the fault plane is a strict no-op.
+    pub fault_seed: Option<u64>,
+    /// Fraction of jobs the fault plan afflicts (spec key `[fault]
+    /// rate = F` in `[0, 1]`, default 1.0). Which jobs draw a fault — and
+    /// which kind — is a pure function of `(fault_seed, job id)`, so the
+    /// same plan always breaks the same jobs the same way.
+    pub fault_rate: f64,
+    /// Whether stall-watchdog cancellations count as retryable (spec key
+    /// `retry_stalled = true`, or `dg-run --retry-stalled`). `None`
+    /// defers to the [`RunnerConfig`] default (off).
+    pub retry_stalled: Option<bool>,
+    /// Failure budget: the sweep exits successfully as long as at most
+    /// this many jobs fail terminally (spec key `max_failures = N`, or
+    /// `dg-run --max-failures N`). `None` defers to the
+    /// [`RunnerConfig`] default (0).
+    pub max_failures: Option<u64>,
 }
 
 fn opt<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -248,6 +267,31 @@ impl Deserialize for ExperimentSpec {
             None => None,
         };
 
+        let mut fault_seed = None;
+        let mut fault_rate = 1.0;
+        if let Some(fv) = opt(m, "fault") {
+            let fm = fv
+                .as_map()
+                .ok_or_else(|| DeError::custom("[fault] must be a table"))?;
+            for (key, val) in fm {
+                match key.as_str() {
+                    "seed" => fault_seed = Some(u64::from_value(val)?),
+                    "rate" => fault_rate = f64::from_value(val)?,
+                    other => return Err(DeError::custom(format!("unknown [fault] key `{other}`"))),
+                }
+            }
+        }
+
+        let retry_stalled = match opt(m, "retry_stalled") {
+            Some(v) => Some(bool::from_value(v)?),
+            None => None,
+        };
+
+        let max_failures = match opt(m, "max_failures") {
+            Some(v) => Some(u64::from_value(v)?),
+            None => None,
+        };
+
         let spec = ExperimentSpec {
             name,
             scale,
@@ -261,6 +305,10 @@ impl Deserialize for ExperimentSpec {
             leak,
             profile,
             shards,
+            fault_seed,
+            fault_rate,
+            retry_stalled,
+            max_failures,
         };
         spec.validate().map_err(DeError::custom)?;
         Ok(spec)
@@ -337,6 +385,12 @@ impl ExperimentSpec {
         if self.shards == Some(0) {
             return Err("`shards` must be a positive integer".to_string());
         }
+        if !(0.0..=1.0).contains(&self.fault_rate) {
+            return Err(format!(
+                "[fault] rate must be within [0, 1], got {}",
+                self.fault_rate
+            ));
+        }
         Ok(())
     }
 
@@ -360,6 +414,9 @@ impl ExperimentSpec {
                         if let Some(o) = self.overrides.iter().find(|o| id.contains(&o.pattern)) {
                             scale.budget = o.budget;
                         }
+                        let fault = self
+                            .fault_seed
+                            .and_then(|seed| draw_sim_fault(seed, &id, self.fault_rate));
                         jobs.push(ColocationJob {
                             id,
                             victim,
@@ -370,6 +427,7 @@ impl ExperimentSpec {
                             leak: self.leak,
                             profile: self.profile,
                             shards: self.shards,
+                            fault,
                         });
                     }
                 }
@@ -384,7 +442,42 @@ impl ExperimentSpec {
     ///
     /// Journal/orchestration I/O errors ([`run_sweep`]).
     pub fn run(&self, cfg: &RunnerConfig) -> io::Result<SweepOutcome<ColocationResult>> {
-        run_sweep(cfg, &self.expand(), execute_job)
+        self.run_filtered(cfg, None)
+    }
+
+    /// [`ExperimentSpec::run`] restricted to jobs whose id contains
+    /// `only` (all jobs when `None`) — the `dg-run --only` path, and the
+    /// repro command quarantine bundles quote. Spec-level supervision
+    /// knobs (`retry_stalled`, `max_failures`) are folded into a copy of
+    /// `cfg` here so CLI overrides (already applied to the spec) win.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the filter matches no job, else [`run_sweep`]
+    /// I/O errors.
+    pub fn run_filtered(
+        &self,
+        cfg: &RunnerConfig,
+        only: Option<&str>,
+    ) -> io::Result<SweepOutcome<ColocationResult>> {
+        let mut cfg = cfg.clone();
+        if let Some(retry_stalled) = self.retry_stalled {
+            cfg.retry_stalled = retry_stalled;
+        }
+        if let Some(max_failures) = self.max_failures {
+            cfg.max_failures = max_failures;
+        }
+        let mut jobs = self.expand();
+        if let Some(pat) = only {
+            jobs.retain(|j| j.id.contains(pat));
+            if jobs.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("--only `{pat}` matches no job in spec `{}`", self.name),
+                ));
+            }
+        }
+        run_sweep(&cfg, &jobs, execute_job)
     }
 }
 
@@ -412,11 +505,35 @@ pub struct ColocationJob {
     /// Shard count for the sharded runtime (`None` = classic system, with
     /// `DG_SHARDS` as a per-process fallback at execution time).
     pub shards: Option<usize>,
+    /// Deterministic simulation fault drawn from the spec's fault plan
+    /// (`None` when the plan is disarmed or skipped this job). Faults
+    /// whose kind [`needs_reference_runtime`](dg_fault::SimFaultKind::needs_reference_runtime)
+    /// pin the job onto the unsharded [`dg_system::System`] regardless of
+    /// `shards`/`DG_SHARDS`.
+    pub fault: Option<SimFault>,
 }
 
 impl JobDesc for ColocationJob {
     fn id(&self) -> &str {
         &self.id
+    }
+
+    fn manifest(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_string(), self.id.to_value()),
+            ("victim".to_string(), self.victim.label().to_value()),
+            ("secret".to_string(), self.secret.to_value()),
+            ("corunner".to_string(), self.corunner.to_value()),
+            ("defense".to_string(), self.defense.to_value()),
+            ("budget".to_string(), self.scale.budget.to_value()),
+            ("leak".to_string(), self.leak.to_value()),
+            ("profile".to_string(), self.profile.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+            (
+                "fault".to_string(),
+                self.fault.map(|f| f.to_string()).to_value(),
+            ),
+        ])
     }
 }
 
@@ -549,16 +666,31 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
     let kind = memory_kind(&job.defense, job.victim)
         .ok_or_else(|| SimError::InvalidConfig(format!("unknown defense `{}`", job.defense)))?;
     let budget = ctx.budget(job.scale.budget);
+    // The planned fault fires on the attempts its retry scope names —
+    // first-attempt-only faults vanish on retry (the supervision story:
+    // detect, retry, recover), forced (`!`) faults chase every attempt
+    // into quarantine.
+    let fault = job
+        .fault
+        .filter(|f| f.fires_on(ctx.attempt))
+        .map(|f| f.kind);
     // Spec/CLI shard counts win; `DG_SHARDS` switches a whole process onto
     // the sharded runtime (the differential-oracle CI gate relies on this).
-    let shards = job.shards.or_else(dg_shard::shards_from_env);
+    // Data-plane faults (stuck bank, dropped response) exist only in the
+    // unsharded reference system, so they pin the job there.
+    let shards = job
+        .shards
+        .or_else(dg_shard::shards_from_env)
+        .filter(|_| !fault.is_some_and(|k| k.needs_reference_runtime()));
     // Supervision engages for a wall-clock timeout OR a live monitor: the
     // monitored paths publish heartbeats between supervision slices and
     // poll `ctx.expired()` so the stall watchdog can cancel the attempt.
+    // An armed fault also routes through the supervised paths — those are
+    // the only ones with injection hooks.
     let supervised = ctx.deadline.is_some() || ctx.monitor.is_some();
     let mut result = if let Some(shards) = shards {
-        if supervised {
-            dg_shard::run_colocation_sharded_monitored(
+        if supervised || fault.is_some() {
+            dg_shard::run_colocation_sharded_faulted(
                 &cfg,
                 vec![victim, corunner],
                 kind.clone(),
@@ -566,6 +698,7 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
                 budget,
                 &mut || ctx.expired(),
                 ctx.monitor.as_ref(),
+                fault,
             )
         } else {
             dg_shard::run_colocation_sharded(
@@ -576,8 +709,8 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
                 budget,
             )
         }
-    } else if supervised {
-        dg_system::run_colocation_monitored(
+    } else if supervised || fault.is_some() {
+        dg_system::run_colocation_faulted(
             &cfg,
             vec![victim, corunner],
             kind.clone(),
@@ -585,6 +718,7 @@ fn execute_job_inner(job: &ColocationJob, ctx: &JobCtx) -> Result<ColocationResu
             SUPERVISION_CHUNK,
             &mut || ctx.expired(),
             ctx.monitor.as_ref(),
+            fault,
         )
     } else {
         run_colocation(&cfg, vec![victim, corunner], kind.clone(), budget)
@@ -696,6 +830,67 @@ budget = 1234
         let zero = format!("shards = 0\n{SPEC}");
         let err = ExperimentSpec::from_toml_str(&zero).unwrap_err();
         assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn fault_table_arms_a_deterministic_plan() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        assert_eq!(spec.fault_seed, None);
+        assert!(
+            spec.expand().iter().all(|j| j.fault.is_none()),
+            "no [fault] table, no faults"
+        );
+
+        let armed = format!("{SPEC}\n[fault]\nseed = 7\n");
+        let spec = ExperimentSpec::from_toml_str(&armed).unwrap();
+        assert_eq!(spec.fault_seed, Some(7));
+        assert_eq!(spec.fault_rate, 1.0);
+        let faults: Vec<Option<SimFault>> = spec.expand().iter().map(|j| j.fault).collect();
+        assert!(
+            faults.iter().all(Option::is_some),
+            "rate 1.0 afflicts every job"
+        );
+        // Pure function of (seed, id): re-expansion draws identically.
+        let again: Vec<Option<SimFault>> = spec.expand().iter().map(|j| j.fault).collect();
+        assert_eq!(faults, again);
+
+        let zero = format!("{SPEC}\n[fault]\nseed = 7\nrate = 0.0\n");
+        let spec = ExperimentSpec::from_toml_str(&zero).unwrap();
+        assert!(spec.expand().iter().all(|j| j.fault.is_none()));
+
+        let bad_rate = format!("{SPEC}\n[fault]\nseed = 7\nrate = 1.5\n");
+        let err = ExperimentSpec::from_toml_str(&bad_rate).unwrap_err();
+        assert!(err.contains("rate"), "{err}");
+        let bad_key = format!("{SPEC}\n[fault]\nseed = 7\nblast_radius = 3\n");
+        assert!(ExperimentSpec::from_toml_str(&bad_key).is_err());
+    }
+
+    #[test]
+    fn supervision_keys_parse_and_default_off() {
+        let spec = ExperimentSpec::from_toml_str(SPEC).unwrap();
+        assert_eq!(spec.retry_stalled, None);
+        assert_eq!(spec.max_failures, None);
+
+        let tuned = format!("retry_stalled = true\nmax_failures = 3\n{SPEC}");
+        let spec = ExperimentSpec::from_toml_str(&tuned).unwrap();
+        assert_eq!(spec.retry_stalled, Some(true));
+        assert_eq!(spec.max_failures, Some(3));
+    }
+
+    #[test]
+    fn colocation_manifest_describes_the_grid_point() {
+        let armed = format!("{SPEC}\n[fault]\nseed = 7\n");
+        let spec = ExperimentSpec::from_toml_str(&armed).unwrap();
+        let job = &spec.expand()[0];
+        let doc = serde_json::to_string(&job.manifest()).unwrap();
+        for needle in ["\"victim\"", "\"corunner\"", "\"defense\"", "\"budget\""] {
+            assert!(doc.contains(needle), "manifest missing {needle}: {doc}");
+        }
+        let fault = job.fault.expect("armed plan");
+        assert!(
+            doc.contains(&fault.to_string()),
+            "manifest should quote the drawn fault: {doc}"
+        );
     }
 
     #[test]

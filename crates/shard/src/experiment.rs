@@ -111,6 +111,105 @@ pub fn run_colocation_sharded_monitored(
     Ok(sys.colocation_result())
 }
 
+/// [`run_colocation_sharded_monitored`] with an optional injected
+/// simulation fault. With `fault = None` this *is* the monitored entry
+/// point; data-plane kinds (stuck bank, dropped response) live inside the
+/// single-`System` memory tick and are not modeled by the sharded
+/// runtime, so the runner pins jobs carrying them to the unsharded
+/// reference path instead of calling here.
+///
+/// `FreezeClock` and `Panic` are implemented at this supervision layer:
+/// the run is first driven to the fault's trigger cycle; reaching it
+/// either pins the simulated clock (publishing frozen heartbeats into
+/// `probe` until a supervisor cancels or [`dg_fault::freeze_cap`]
+/// expires) or fires the deterministic panic.
+///
+/// # Errors
+///
+/// As [`run_colocation_sharded_monitored`]; additionally
+/// [`SimError::InvalidConfig`] for data-plane kinds, and a frozen clock
+/// surfaces as [`SimError::Aborted`] naming the pinned cycle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_sharded_faulted(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    shards: usize,
+    budget: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+    probe: Option<&dg_mon::ProgressProbe>,
+    fault: Option<dg_fault::SimFaultKind>,
+) -> Result<ColocationResult, SimError> {
+    use dg_fault::SimFaultKind;
+    let at = match fault {
+        None => {
+            return run_colocation_sharded_monitored(
+                cfg,
+                traces,
+                kind,
+                shards,
+                budget,
+                should_abort,
+                probe,
+            )
+        }
+        Some(SimFaultKind::FreezeClock { at }) | Some(SimFaultKind::Panic { at }) => at,
+        Some(f) => {
+            return Err(SimError::InvalidConfig(format!(
+                "sim fault `{f}` needs the unsharded reference runtime (data-plane faults \
+                 are not modeled by the sharded memory path)"
+            )))
+        }
+    };
+    if at >= budget {
+        // Trigger cycle beyond the budget: the fault can never fire, so
+        // the run is exactly the monitored one.
+        return run_colocation_sharded_monitored(
+            cfg,
+            traces,
+            kind,
+            shards,
+            budget,
+            should_abort,
+            probe,
+        );
+    }
+    let mut sys = {
+        let _prof = dg_prof::span("setup");
+        build(cfg, traces, kind, shards)
+    };
+    if let Some(p) = probe {
+        sys.set_progress_probe(p.clone());
+    }
+    let _prof = dg_prof::span("sim");
+    match sys.run_until_core_finished_supervised(0, at, should_abort) {
+        Ok(_) => {
+            // Finished before the trigger cycle: the fault never fires.
+            drop(_prof);
+            let _prof = dg_prof::span("report");
+            Ok(sys.colocation_result())
+        }
+        Err(SimError::Deadline { .. }) => match fault {
+            Some(SimFaultKind::Panic { .. }) => {
+                panic!("injected fault: deterministic panic at cycle {at}")
+            }
+            _ => {
+                let msg = dg_fault::hold_frozen_clock(
+                    at,
+                    || {
+                        if let Some(p) = probe {
+                            p.record(at, 0, 0);
+                        }
+                    },
+                    &mut *should_abort,
+                );
+                Err(SimError::Aborted(msg))
+            }
+        },
+        Err(e) => Err(e),
+    }
+}
+
 /// [`run_colocation_sharded`] that also assembles the merged
 /// [`RunReport`].
 ///

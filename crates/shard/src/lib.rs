@@ -30,8 +30,8 @@ pub mod system;
 
 pub use barrier::SpinBarrier;
 pub use experiment::{
-    run_colocation_sharded, run_colocation_sharded_monitored, run_colocation_sharded_observed,
-    run_colocation_sharded_supervised, shards_from_env,
+    run_colocation_sharded, run_colocation_sharded_faulted, run_colocation_sharded_monitored,
+    run_colocation_sharded_observed, run_colocation_sharded_supervised, shards_from_env,
 };
 pub use fragment::{ChannelFragment, ShardReportFragment};
 pub use lookahead::{

@@ -170,9 +170,48 @@ pub fn run_colocation_monitored(
     should_abort: &mut dyn FnMut() -> bool,
     probe: Option<&dg_mon::ProgressProbe>,
 ) -> Result<ColocationResult, SimError> {
+    run_colocation_faulted(cfg, traces, kind, budget, chunk, should_abort, probe, None)
+}
+
+/// [`run_colocation_monitored`] with an optional injected simulation fault
+/// (see [`dg_fault::SimFaultKind`]). With `fault = None` this *is*
+/// `run_colocation_monitored` — the fault plane adds no branch to the
+/// unfaulted path, keeping fault-off runs byte-identical.
+///
+/// Data-plane faults (stuck bank, dropped response) are armed on the
+/// [`System`](crate::system::System) itself; `Panic` fires inside the
+/// simulation tick; `FreezeClock` is implemented here, in the supervision
+/// loop: stepping never crosses the freeze cycle, and once the simulated
+/// clock reaches it the loop pins the clock, keeps publishing the frozen
+/// heartbeat into `probe`, and waits for a supervisor to cancel (or for
+/// [`dg_fault::freeze_cap`] to expire) — exactly the livelock signature
+/// the stall watchdog exists to catch.
+///
+/// # Errors
+///
+/// As [`run_colocation_monitored`]; a frozen clock additionally surfaces
+/// as [`SimError::Aborted`] with a diagnosis naming the pinned cycle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_faulted(
+    cfg: &SystemConfig,
+    traces: Vec<MemTrace>,
+    kind: MemoryKind,
+    budget: Cycle,
+    chunk: Cycle,
+    should_abort: &mut dyn FnMut() -> bool,
+    probe: Option<&dg_mon::ProgressProbe>,
+    fault: Option<dg_fault::SimFaultKind>,
+) -> Result<ColocationResult, SimError> {
     let (mut sys, n) = {
         let _prof = dg_prof::span("setup");
         build_system(cfg, traces, kind, &ObsConfig::default())
+    };
+    if let Some(f) = fault {
+        sys.inject_fault(f);
+    }
+    let freeze_at = match fault {
+        Some(dg_fault::SimFaultKind::FreezeClock { at }) => Some(at),
+        _ => None,
     };
     let chunk = chunk.max(1);
     let mut spent: Cycle = 0;
@@ -189,7 +228,17 @@ pub fn run_colocation_monitored(
                     "supervisor cancelled after {spent} cycles"
                 )));
             }
-            let step = chunk.min(budget - spent);
+            let mut step = chunk.min(budget - spent);
+            if let Some(at) = freeze_at {
+                if sys.now() >= at {
+                    // The simulated clock is pinned: host time passes,
+                    // heartbeats repeat the frozen cycle, and only the
+                    // supervisor (or the host-time cap) ends the run.
+                    let msg = dg_fault::hold_frozen_clock(at, || publish(&sys), &mut *should_abort);
+                    return Err(SimError::Aborted(msg));
+                }
+                step = step.min(at - sys.now());
+            }
             match sys.run_until_core_finished(0, step) {
                 Ok(_) => break,
                 Err(SimError::Deadline { .. }) => {

@@ -37,8 +37,8 @@ pub mod system;
 
 pub use builder::{build_channel_memories, build_memory, MemoryKind, SystemBuilder};
 pub use experiment::{
-    run_colocation, run_colocation_monitored, run_colocation_observed, run_colocation_supervised,
-    ColocationResult, CoreResult, ObsConfig,
+    run_colocation, run_colocation_faulted, run_colocation_monitored, run_colocation_observed,
+    run_colocation_supervised, ColocationResult, CoreResult, ObsConfig,
 };
 pub use profile::{profile_victim, select_defense_rdag, ProfilePoint};
 pub use system::System;

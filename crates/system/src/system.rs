@@ -3,6 +3,7 @@
 use dg_cache::SetAssocCache;
 use dg_cpu::Core;
 use dg_dram::power::PowerParams;
+use dg_fault::SimFaultKind;
 use dg_mem::MemorySubsystem;
 use dg_obs::{
     BankReport, CoreReport, DomainReport, DramReport, EnergyReport, HistogramSnapshot,
@@ -22,6 +23,22 @@ const CORE_POLL_NAMES: [&str; 8] = [
 
 fn core_poll_name(i: usize) -> &'static str {
     CORE_POLL_NAMES.get(i).copied().unwrap_or("core8plus")
+}
+
+/// Live state of an injected simulation fault (see
+/// [`dg_fault::SimFaultKind`]). Data-plane kinds (stuck bank, dropped
+/// response) are modeled here, inside the memory tick; control-plane
+/// kinds (frozen clock, panic) only carry their trigger cycle — the
+/// panic fires at the top of [`System::tick`], and the frozen clock is
+/// implemented by the supervision loop that drives the system.
+struct FaultState {
+    kind: SimFaultKind,
+    /// Responses captured while a stuck bank holds its window.
+    held: Vec<MemResponse>,
+    /// Whether a `DropResponse` fault has consumed its victim.
+    dropped: bool,
+    /// Primary-domain responses seen so far (for `DropResponse`).
+    seen_primary: u64,
 }
 
 /// A complete simulated system.
@@ -57,6 +74,8 @@ pub struct System {
     /// Engine telemetry: how the engine covered simulated time (ticks vs
     /// warps, scan outcomes, poll counts). Purely observational.
     engine: EngineCounters,
+    /// Injected simulation fault, if any ([`System::inject_fault`]).
+    fault: Option<FaultState>,
 }
 
 impl System {
@@ -91,7 +110,23 @@ impl System {
             warp_backoff: 0,
             warp_fail_streak: 0,
             engine: EngineCounters::default(),
+            fault: None,
         }
+    }
+
+    /// Arms a simulation-layer fault. Data-plane kinds (stuck bank,
+    /// dropped response) change response delivery inside [`System::tick`];
+    /// `Panic` fires deterministically at its trigger cycle; `FreezeClock`
+    /// is a no-op at this layer (the supervised run loop implements it).
+    /// Without this call the fault plane does not exist — no branch in the
+    /// hot path consults it beyond one `Option` check.
+    pub fn inject_fault(&mut self, kind: SimFaultKind) {
+        self.fault = Some(FaultState {
+            kind,
+            held: Vec::new(),
+            dropped: false,
+            seen_primary: 0,
+        });
     }
 
     /// Enables or disables event-driven quiescent-cycle skipping. The two
@@ -212,8 +247,63 @@ impl System {
         }
     }
 
+    /// Rewrites the freshly ticked response buffer under the armed fault:
+    /// a stuck bank detains responses completing inside its hold window
+    /// and releases them (in arrival order, ahead of same-cycle traffic)
+    /// once it unwedges; a drop fault silently removes the nth response
+    /// bound for the primary domain.
+    fn apply_response_fault(&mut self, now: Cycle) {
+        let Self {
+            fault: Some(f),
+            resp_buf,
+            ..
+        } = self
+        else {
+            return;
+        };
+        match f.kind {
+            SimFaultKind::StuckBank { at, hold } => {
+                let release = at.saturating_add(hold);
+                if now >= at && now < release {
+                    f.held.append(resp_buf);
+                } else if now >= release && !f.held.is_empty() {
+                    resp_buf.splice(0..0, f.held.drain(..));
+                }
+            }
+            SimFaultKind::DropResponse { nth } => {
+                if !f.dropped {
+                    for i in 0..resp_buf.len() {
+                        if resp_buf[i].domain.0 == 0 {
+                            f.seen_primary += 1;
+                            if f.seen_primary == nth {
+                                resp_buf.remove(i);
+                                f.dropped = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            SimFaultKind::FreezeClock { .. } | SimFaultKind::Panic { .. } => {}
+        }
+    }
+
     /// Advances the whole system one CPU cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics deterministically if a [`SimFaultKind::Panic`] fault is armed
+    /// and its trigger cycle has been reached.
     pub fn tick(&mut self) {
+        if let Some(FaultState {
+            kind: SimFaultKind::Panic { at },
+            ..
+        }) = self.fault
+        {
+            if self.now >= at {
+                panic!("injected fault: deterministic panic at cycle {at}");
+            }
+        }
         self.engine.tick();
         let now = self.now;
         // Memory first: completions this cycle unblock cores this cycle.
@@ -221,6 +311,7 @@ impl System {
             let _prof = dg_prof::span("mem_tick");
             self.resp_buf.clear();
             self.mem.tick_into(now, &mut self.resp_buf);
+            self.apply_response_fault(now);
             for i in 0..self.resp_buf.len() {
                 let resp = self.resp_buf[i];
                 let idx = resp.domain.0 as usize;
@@ -262,6 +353,27 @@ impl System {
         for (i, core) in self.cores.iter().enumerate() {
             self.engine.poll(core_poll_name(i));
             ev = earliest_event(ev, core.next_event_at(now));
+        }
+        // Fault boundaries are events too: a warp must never jump a stuck
+        // bank's release cycle (detained responses would stay detained past
+        // their deterministic delivery time) or a planned panic's trigger
+        // cycle. Keeping them in the fold preserves naive/event-engine
+        // byte-identity under injection.
+        if let Some(f) = &self.fault {
+            match f.kind {
+                SimFaultKind::StuckBank { at, hold } => {
+                    if now < at {
+                        ev = earliest_event(ev, Some(at));
+                    }
+                    if !f.held.is_empty() {
+                        ev = earliest_event(ev, Some(at.saturating_add(hold)));
+                    }
+                }
+                SimFaultKind::Panic { at } if now < at => {
+                    ev = earliest_event(ev, Some(at));
+                }
+                _ => {}
+            }
         }
         ev.map_or(limit, |t| t.clamp(now, limit))
     }
